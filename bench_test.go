@@ -1,0 +1,334 @@
+// Benchmarks regenerating the paper's artifacts (one benchmark per table
+// and figure) plus ablations over the repository's substrates and
+// protocol alternatives. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gsb"
+	"repro/internal/harness"
+	"repro/internal/iis"
+	"repro/internal/luby"
+	"repro/internal/mem"
+	"repro/internal/msgnet"
+	"repro/internal/nocomm"
+	"repro/internal/sched"
+	"repro/internal/solvability"
+	"repro/internal/tasks"
+	"repro/internal/topology"
+	"repro/internal/universal"
+)
+
+// BenchmarkTable1 regenerates Table 1 (kernel sets, synonym classes and
+// canonical flags of the <n,m,-,-> family); the paper's instance is n=6,
+// m=3, and larger instances probe the kernel enumeration's scaling.
+func BenchmarkTable1(b *testing.B) {
+	for _, tc := range []struct{ n, m int }{{6, 3}, {12, 4}, {20, 5}} {
+		b.Run(fmt.Sprintf("n=%d/m=%d", tc.n, tc.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if out := harness.Table1(tc.n, tc.m); len(out) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (canonical representatives and
+// the strict-inclusion Hasse diagram).
+func BenchmarkFigure1(b *testing.B) {
+	for _, tc := range []struct{ n, m int }{{6, 3}, {10, 3}, {12, 4}} {
+		b.Run(fmt.Sprintf("n=%d/m=%d", tc.n, tc.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				reps := gsb.CanonicalFamily(tc.n, tc.m)
+				if len(gsb.Hasse(reps)) == 0 && len(reps) > 1 {
+					b.Fatal("no Hasse edges")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2 runs the Figure 2 algorithm ((n+1)-renaming from the
+// (n-1)-slot task) under seeded random schedules across system sizes.
+func BenchmarkFigure2(b *testing.B) {
+	for _, n := range []int{3, 5, 8, 12} {
+		spec := gsb.Renaming(n, n+1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seed := int64(i)
+				_, err := tasks.RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+					func(n int) tasks.Solver {
+						return tasks.NewSlotRenaming("F2", n, mem.SlotBox("KS", n, n-1, seed))
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRenamingProtocols compares the two from-scratch wait-free
+// renaming algorithms: the adaptive snapshot-based (2n-1)-renaming and
+// the Moir-Anderson splitter grid (n(n+1)/2 names) — smaller name space
+// versus cheaper steps.
+func BenchmarkRenamingProtocols(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("snapshot2n-1/n=%d", n), func(b *testing.B) {
+			spec := gsb.Renaming(n, 2*n-1)
+			for i := 0; i < b.N; i++ {
+				_, err := tasks.RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(int64(i)),
+					func(n int) tasks.Solver { return tasks.NewSnapshotRenaming("R", n) })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("grid/n=%d", n), func(b *testing.B) {
+			spec := gsb.Renaming(n, n*(n+1)/2)
+			for i := 0; i < b.N; i++ {
+				_, err := tasks.RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(int64(i)),
+					func(n int) tasks.Solver { return tasks.NewGridRenaming("G", n) })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotConstruction compares the native one-step snapshot
+// with the Afek et al. wait-free construction from 1WnR registers
+// (substrate ablation: what the "snapshots are free" assumption costs).
+func BenchmarkSnapshotConstruction(b *testing.B) {
+	const n, rounds = 4, 2
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			arr := mem.NewArray[int]("A", n)
+			r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(int64(i)))
+			_, err := r.Run(func(p *sched.Proc) {
+				for k := 0; k < rounds; k++ {
+					arr.Write(p, k)
+					arr.Snapshot(p)
+				}
+				p.Decide(1)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("afek", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			snap := mem.NewSnapshotObject[int]("S", n)
+			r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(int64(i)),
+				sched.WithMaxSteps(1<<20))
+			_, err := r.Run(func(p *sched.Proc) {
+				for k := 0; k < rounds; k++ {
+					snap.Update(p, k)
+					snap.Scan(p)
+				}
+				p.Decide(1)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkImmediateSnapshot measures the Borowsky-Gafni levels protocol.
+func BenchmarkImmediateSnapshot(b *testing.B) {
+	for _, n := range []int{3, 6} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				is := iis.New[int]("IS", n)
+				r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(int64(i)),
+					sched.WithMaxSteps(1<<20))
+				_, err := r.Run(func(p *sched.Proc) {
+					is.Invoke(p, p.ID())
+					p.Decide(1)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUniversality runs the Theorem 8 construction: an arbitrary GSB
+// task (here the hardest <n,m,-,-> member) from perfect renaming.
+func BenchmarkUniversality(b *testing.B) {
+	for _, tc := range []struct{ n, m int }{{6, 3}, {9, 4}} {
+		spec := gsb.Hardest(tc.n, tc.m)
+		b.Run(spec.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := tasks.RunVerified(spec, sched.DefaultIDs(tc.n), sched.NewRandom(int64(i)),
+					func(n int) tasks.Solver {
+						return universal.New(spec, tasks.NewTASRenaming("TAS", n))
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWSBRenamingEquivalence runs the round trip WSB -> (2n-2)-
+// renaming -> WSB (Section 5.3 / Section 6 equivalence).
+func BenchmarkWSBRenamingEquivalence(b *testing.B) {
+	for _, n := range []int{4, 6, 8} {
+		spec := gsb.WSB(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seed := int64(i)
+				_, err := tasks.RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+					func(n int) tasks.Solver {
+						ren := tasks.NewRenamingFromWSB("RW", n, mem.WSBBox("WSB", n, seed))
+						return tasks.NewWSBFromRenaming(n, ren)
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNoCommSearch measures the Theorem 9 machinery: the closed-form
+// characterization, the constructive solver, and the exhaustive
+// subset verification.
+func BenchmarkNoCommSearch(b *testing.B) {
+	b.Run("characterize/n=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for m := 1; m <= 15; m++ {
+				for u := 1; u <= 8; u++ {
+					nocomm.Solvable(gsb.NewSym(8, m, 0, u))
+				}
+			}
+		}
+	})
+	b.Run("build+verify/n=8", func(b *testing.B) {
+		spec := gsb.BoundedHomonymous(8, 3)
+		for i := 0; i < b.N; i++ {
+			delta, ok := nocomm.Build(spec)
+			if !ok {
+				b.Fatal("unexpectedly unsolvable")
+			}
+			if err := nocomm.Verify(spec, delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive-verify/n=6", func(b *testing.B) {
+		spec := gsb.BoundedHomonymous(6, 3)
+		delta, _ := nocomm.Build(spec)
+		for i := 0; i < b.N; i++ {
+			if err := nocomm.VerifyExhaustive(spec, delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGCDClassification tabulates the Theorem 10 condition.
+func BenchmarkGCDClassification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := solvability.GCDTable(48)
+		if len(rows) != 47 {
+			b.Fatal("wrong table size")
+		}
+	}
+}
+
+// BenchmarkElectionCertificate builds the IIS protocol complex and
+// exhausts the decision-map search certifying Theorem 11.
+func BenchmarkElectionCertificate(b *testing.B) {
+	for _, tc := range []struct{ n, r int }{{2, 2}, {3, 1}, {3, 2}, {4, 1}} {
+		b.Run(fmt.Sprintf("n=%d/r=%d", tc.n, tc.r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := topology.BuildIIS(tc.n, tc.r)
+				if c.FindDecisionMap(gsb.Election(tc.n)) != nil {
+					b.Fatal("election map found; contradicts Theorem 11")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWSBCertificateCDCL measures the CDCL-backed exhaustive search
+// on the instance chronological backtracking cannot finish (WSB at n=3,
+// rounds=2), plus the n=4 one-round instance for comparison.
+func BenchmarkWSBCertificateCDCL(b *testing.B) {
+	for _, tc := range []struct{ n, r int }{{3, 2}, {4, 1}} {
+		b.Run(fmt.Sprintf("n=%d/r=%d", tc.n, tc.r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := topology.BuildIIS(tc.n, tc.r)
+				if c.FindDecisionMapSAT(gsb.WSB(tc.n)) != nil {
+					b.Fatal("WSB map found; contradicts Theorem 10")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLubyMIS measures the message-passing MIS baseline.
+func BenchmarkLubyMIS(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		rng := rand.New(rand.NewSource(1))
+		g := msgnet.GNP(n, 0.1, rng.Float64)
+		b.Run(fmt.Sprintf("gnp%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := luby.MIS(g, int64(i), 1<<20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := luby.VerifyMIS(g, res.InMIS); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColeVishkin measures deterministic ring 3-coloring.
+func BenchmarkColeVishkin(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("ring%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := luby.RingThreeColor(n, 1000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCanonicalization measures Theorem 7's fixed-point computation
+// against the brute-force synonym classification it replaces.
+func BenchmarkCanonicalization(b *testing.B) {
+	b.Run("fixed-point/n=20", func(b *testing.B) {
+		family := gsb.Family(20, 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range family {
+				s.Canonical()
+			}
+		}
+	})
+	b.Run("synonym-classes/n=20", func(b *testing.B) {
+		family := gsb.Family(20, 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gsb.SynonymClasses(family)
+		}
+	})
+}

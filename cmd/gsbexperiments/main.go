@@ -1,0 +1,149 @@
+// Command gsbexperiments runs the full reproduction suite — every table,
+// figure and theorem validation recorded in EXPERIMENTS.md — and prints a
+// consolidated report. It is the one-shot regeneration entry point:
+//
+//	go run ./cmd/gsbexperiments            # quick profile
+//	go run ./cmd/gsbexperiments -full      # larger sweeps (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the larger, slower sweeps")
+	flag.Parse()
+
+	fmt.Println("== Table 1: kernels of the <6,3,-,-> family ==")
+	fmt.Print(repro.Table1(6, 3))
+
+	fmt.Println("\n== Figure 1: canonical tasks and strict inclusion ==")
+	fmt.Print(repro.Figure1Text(6, 3))
+
+	fmt.Println("\n== Figure 2 / Theorem 12: (n+1)-renaming from the (n-1)-slot task ==")
+	ns := []int{3, 5, 8}
+	runs := 200
+	if *full {
+		ns = []int{3, 4, 5, 6, 8, 10, 12}
+		runs = 1000
+	}
+	rows, err := repro.Figure2Experiment(ns, runs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(repro.Figure2Text(rows))
+
+	fmt.Println("\n== Theorem 8: universality of perfect renaming ==")
+	nMax := 6
+	if *full {
+		nMax = 8
+	}
+	total, failures := 0, 0
+	for n := 2; n <= nMax; n++ {
+		for m := 1; m <= n; m++ {
+			for _, spec := range repro.Family(n, m) {
+				spec := spec
+				total++
+				_, err := repro.RunVerified(spec, repro.DefaultIDs(n), repro.NewRandomPolicy(int64(total)),
+					func(n int) repro.Solver {
+						return repro.NewUniversalConstruction(spec, repro.NewTASRenaming("TAS", n))
+					})
+				if err != nil {
+					failures++
+					fmt.Printf("  FAIL %v: %v\n", spec, err)
+				}
+			}
+		}
+	}
+	fmt.Printf("  %d feasible symmetric specs solved from perfect renaming, %d failures\n", total, failures)
+
+	fmt.Println("\n== Theorem 9: communication-free solvability ==")
+	agree := 0
+	disagree := 0
+	for n := 2; n <= 8; n++ {
+		for m := 1; m <= 2*n-1; m++ {
+			for _, spec := range repro.Family(n, m) {
+				if spec.Symmetric() {
+					solvable := repro.NoCommSolvable(spec)
+					if delta, ok := repro.NoCommBuild(spec); ok != solvable {
+						disagree++
+					} else if ok {
+						if err := repro.NoCommVerify(spec, delta); err != nil {
+							disagree++
+							continue
+						}
+						agree++
+					} else {
+						agree++
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("  characterization vs constructive solver: %d agree, %d disagree\n", agree, disagree)
+
+	fmt.Println("\n== Theorem 10: binomial gcd classification ==")
+	maxN := 16
+	if *full {
+		maxN = 48
+	}
+	fmt.Print(repro.GCDTableText(maxN))
+
+	fmt.Println("\n== Theorem 11: bounded-round impossibility certificates ==")
+	certs := []struct {
+		name   string
+		spec   repro.Spec
+		rounds int
+	}{
+		{"election n=2", repro.Election(2), 3},
+		{"election n=3", repro.Election(3), 2},
+		{"election n=4", repro.Election(4), 1},
+		{"perfect renaming n=3", repro.PerfectRenaming(3), 2},
+		{"WSB n=3", repro.WSB(3), 1},
+		{"WSB n=4", repro.WSB(4), 1},
+	}
+	for _, c := range certs {
+		for r := 0; r <= c.rounds; r++ {
+			if repro.BoundedRoundsCheck(c.spec, r) {
+				fmt.Printf("  UNEXPECTED: %s solvable at %d rounds\n", c.name, r)
+			}
+		}
+		fmt.Printf("  %-22s: no comparison-based protocol in <= %d IIS rounds\n", c.name, c.rounds)
+	}
+	fmt.Println("  positive controls:")
+	for _, c := range []struct {
+		name   string
+		spec   repro.Spec
+		rounds int
+	}{
+		{"3-renaming n=2", repro.Renaming(2, 3), 1},
+		{"6-renaming n=3", repro.Renaming(3, 6), 1},
+	} {
+		if !repro.BoundedRoundsCheck(c.spec, c.rounds) {
+			fmt.Printf("  UNEXPECTED: %s NOT solvable at %d rounds\n", c.name, c.rounds)
+		} else {
+			fmt.Printf("  %-22s: decision map found at %d round(s)\n", c.name, c.rounds)
+		}
+	}
+
+	fmt.Println("\n== Solvability census of the <n,m,-,-> universe ==")
+	fmt.Print(repro.SolvabilityText(6, 3))
+
+	fmt.Println("\n== Baselines: message-passing symmetry breaking ==")
+	for _, n := range []int{64, 4096} {
+		res, err := repro.RingThreeColor(n, 1000)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  Cole-Vishkin ring %d: 3-colored in %d rounds\n", n, res.Rounds)
+	}
+	if failures > 0 || disagree > 0 {
+		os.Exit(1)
+	}
+}

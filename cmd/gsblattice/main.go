@@ -1,0 +1,33 @@
+// Command gsblattice regenerates Figure 1 of the paper: the canonical
+// representatives of the <n,m,-,-> GSB family and the Hasse diagram of
+// strict inclusion between their output-vector sets. Defaults reproduce
+// the paper's n=6, m=3 figure; -dot emits Graphviz.
+//
+// Usage:
+//
+//	gsblattice [-n 6] [-m 3] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 6, "number of processes")
+	m := flag.Int("m", 3, "number of output values")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of text")
+	flag.Parse()
+	if *n < 1 || *m < 1 {
+		fmt.Fprintln(os.Stderr, "gsblattice: need n >= 1 and m >= 1")
+		os.Exit(2)
+	}
+	if *dot {
+		fmt.Print(repro.Figure1DOT(*n, *m))
+		return
+	}
+	fmt.Print(repro.Figure1Text(*n, *m))
+}

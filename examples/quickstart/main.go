@@ -1,0 +1,58 @@
+// Quickstart: solve weak symmetry breaking (WSB) among six goroutine
+// "processes" in the simulated wait-free shared-memory model, verify the
+// output against the <6,2,1,5>-GSB specification, and show how the same
+// run behaves under crash injection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const n = 6
+	spec := repro.WSB(n) // <6,2,1,5>-GSB: not all processes decide alike
+	fmt.Printf("task: %v (kernel set %v)\n", spec, spec.KernelSet())
+
+	// WSB is wait-free solvable for n = 6 because gcd{C(6,i)} = 1
+	// (Theorem 10 territory); here we solve it from a (2n-2)-renaming
+	// oracle box, the reduction of Section 5.3.
+	build := func(n int) repro.Solver {
+		box := repro.NewTaskBox("renaming", repro.Renaming(n, 2*n-2), 42)
+		return repro.NewWSBFromRenaming(n, repro.NewBoxSolver(box))
+	}
+
+	// Failure-free run under a seeded random schedule.
+	res, err := repro.RunVerified(spec, repro.DefaultIDs(n), repro.NewRandomPolicy(42), build)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure-free outputs: %v (steps: %d)\n", res.Outputs, res.Steps)
+
+	// Same protocol under an adversary that crashes up to n-1 processes.
+	build2 := func(n int) repro.Solver {
+		box := repro.NewTaskBox("renaming", repro.Renaming(n, 2*n-2), 7)
+		return repro.NewWSBFromRenaming(n, repro.NewBoxSolver(box))
+	}
+	res, err = repro.RunVerified(spec, repro.DefaultIDs(n),
+		repro.NewRandomCrashPolicy(7, 0.05, n-1), build2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crashed := 0
+	for _, c := range res.Crashed {
+		if c {
+			crashed++
+		}
+	}
+	fmt.Printf("crashy run outputs:   %v (crashed: %d, still a legal prefix)\n",
+		res.Outputs, crashed)
+
+	// The classifier knows why this works for n=6 but not n=8.
+	for _, k := range []int{6, 8} {
+		report := repro.Classify(repro.WSB(k))
+		fmt.Printf("WSB(%d): %v — %s\n", k, report.Status, report.Reason)
+	}
+}

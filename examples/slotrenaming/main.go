@@ -1,0 +1,57 @@
+// Slot renaming: the Figure 2 pipeline end-to-end. An (n-1)-slot object
+// (the KS oracle of Section 6) assigns n processes to n-1 slots; exactly
+// two processes collide, detect it through an atomic snapshot, and order
+// themselves onto the reserve names n and n+1 — solving (n+1)-renaming.
+// The example sweeps n, runs many adversarial schedules, and reports the
+// observed name distributions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	for _, n := range []int{3, 5, 8} {
+		spec := repro.Renaming(n, n+1)
+		fmt.Printf("n=%d: solving %v from the (n-1)-slot task\n", n, spec)
+		nameUse := make([]int, n+2) // index by name
+		const runs = 200
+		for seed := int64(0); seed < runs; seed++ {
+			build := func(n int) repro.Solver {
+				return repro.NewSlotRenaming("F2", n, repro.SlotBox("KS", n, n-1, seed))
+			}
+			res, err := repro.RunVerified(spec, repro.DefaultIDs(n),
+				repro.NewRandomPolicy(seed), build)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, name := range res.Outputs {
+				nameUse[name]++
+			}
+		}
+		fmt.Printf("  name usage over %d runs:", runs)
+		for name := 1; name <= n+1; name++ {
+			fmt.Printf(" %d:%d", name, nameUse[name])
+		}
+		fmt.Println()
+	}
+
+	// The identity-space reduction of Theorem 1: the same pipeline works
+	// with sparse identities from a large space, by renaming into
+	// [1..2n-1] first.
+	const n = 5
+	ids := []int{90210, 7, 1234, 42, 500}
+	spec := repro.Renaming(n, n+1)
+	build := func(n int) repro.Solver {
+		inner := repro.NewSlotRenaming("F2", n, repro.SlotBox("KS", n, n-1, 99))
+		return repro.NewIDReducer("T1", n, inner)
+	}
+	res, err := repro.RunVerified(spec, ids, repro.NewRandomPolicy(99), build)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sparse ids %v -> names %v (Theorem 1 reduction)\n", ids, res.Outputs)
+}

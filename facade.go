@@ -1,0 +1,191 @@
+package repro
+
+import (
+	"repro/internal/gsb"
+	"repro/internal/harness"
+	"repro/internal/luby"
+	"repro/internal/mem"
+	"repro/internal/msgnet"
+	"repro/internal/nocomm"
+	"repro/internal/sched"
+	"repro/internal/solvability"
+	"repro/internal/tasks"
+	"repro/internal/topology"
+	"repro/internal/universal"
+	"repro/internal/vecmath"
+)
+
+// Task algebra (internal/gsb).
+type (
+	// Spec describes an <n,m,l,u>-GSB task (possibly asymmetric).
+	Spec = gsb.Spec
+	// Vec is an integer vector (counting and kernel vectors).
+	Vec = vecmath.Vec
+	// HasseEdge is an edge of the strict-inclusion diagram (Figure 1).
+	HasseEdge = gsb.HasseEdge
+)
+
+// Spec constructors and named instances (Section 3).
+var (
+	NewSym               = gsb.NewSym
+	NewAsym              = gsb.NewAsym
+	Election             = gsb.Election
+	WSB                  = gsb.WSB
+	KWSB                 = gsb.KWSB
+	Renaming             = gsb.Renaming
+	PerfectRenaming      = gsb.PerfectRenaming
+	KSlot                = gsb.KSlot
+	BoundedHomonymous    = gsb.BoundedHomonymous
+	Hardest              = gsb.Hardest
+	BalancedKernelVector = gsb.BalancedKernelVector
+)
+
+// Family structure (Section 4).
+var (
+	Family          = gsb.Family
+	SynonymClasses  = gsb.SynonymClasses
+	CanonicalFamily = gsb.CanonicalFamily
+	Hasse           = gsb.Hasse
+)
+
+// Execution engine (internal/sched): the asynchronous wait-free
+// shared-memory model with a pluggable adversary.
+type (
+	// Proc is the per-process handle inside a run.
+	Proc = sched.Proc
+	// Policy schedules steps and injects crashes.
+	Policy = sched.Policy
+	// RunResult records outputs, crashes and the schedule of a run.
+	RunResult = sched.Result
+)
+
+var (
+	NewRunner            = sched.NewRunner
+	DefaultIDs           = sched.DefaultIDs
+	NewRoundRobinPolicy  = sched.NewRoundRobin
+	NewRandomPolicy      = sched.NewRandom
+	NewRandomCrashPolicy = sched.NewRandomCrash
+	NewScriptPolicy      = sched.NewScript
+	ScriptFromSchedule   = sched.ScriptFromSchedule
+	// ExploreAll model-checks a protocol over every failure-free schedule.
+	ExploreAll = sched.ExploreAll
+	// Timeline and ScheduleSummary render recorded schedules for humans.
+	Timeline        = sched.Timeline
+	ScheduleSummary = sched.Summary
+)
+
+// Shared-memory objects (internal/mem).
+var (
+	NewTaskBox         = mem.NewTaskBox
+	PerfectRenamingBox = mem.PerfectRenamingBox
+	SlotBox            = mem.SlotBox
+	WSBBox             = mem.WSBBox
+	// Adaptive oracle objects contrasted with GSB tasks in Section 1.
+	NewKTAS            = mem.NewKTAS
+	NewKLeaderElection = mem.NewKLeaderElection
+	// Agreement-task oracles (the non-GSB foil: outputs relate to inputs).
+	NewConsensus     = mem.NewConsensus
+	NewKSetAgreement = mem.NewKSetAgreement
+)
+
+// Protocols (internal/tasks).
+type (
+	// Solver is a one-shot task protocol.
+	Solver = tasks.Solver
+	// SolverFunc adapts a function to Solver.
+	SolverFunc = tasks.SolverFunc
+)
+
+var (
+	Run                            = tasks.Run
+	RunVerified                    = tasks.RunVerified
+	SolverBody                     = tasks.Body
+	NewSnapshotRenaming            = tasks.NewSnapshotRenaming
+	NewGridRenaming                = tasks.NewGridRenaming
+	NewISRenaming                  = tasks.NewISRenaming
+	NewFetchIncRenaming            = tasks.NewFetchIncRenaming
+	NewTASRenaming                 = tasks.NewTASRenaming
+	NewBoxSolver                   = tasks.NewBoxSolver
+	NewElectionFromPerfectRenaming = tasks.NewElectionFromPerfectRenaming
+	NewSlotRenaming                = tasks.NewSlotRenaming
+	NewWSBFromRenaming             = tasks.NewWSBFromRenaming
+	NewRenamingFromWSB             = tasks.NewRenamingFromWSB
+	NewKWSBFromRenaming            = tasks.NewKWSBFromRenaming
+	NewWSBFromSlotTask             = tasks.NewWSBFromSlotTask
+	NewIDReducer                   = tasks.NewIDReducer
+	NewUniversalConstruction       = universal.New
+)
+
+// Solvability analysis (Theorems 9-11).
+type (
+	// SolvabilityReport classifies one task.
+	SolvabilityReport = solvability.Report
+	// SolvabilityStatus is the classification outcome.
+	SolvabilityStatus = solvability.Status
+	// DecisionFunc is a communication-free algorithm (Theorem 9).
+	DecisionFunc = nocomm.DecisionFunc
+)
+
+// Solvability statuses.
+const (
+	StatusInfeasible  = solvability.StatusInfeasible
+	StatusTrivial     = solvability.StatusTrivial
+	StatusSolvable    = solvability.StatusSolvable
+	StatusNotSolvable = solvability.StatusNotSolvable
+	StatusUnknown     = solvability.StatusUnknown
+)
+
+var (
+	Classify            = solvability.Classify
+	FamilyReport        = solvability.FamilyReport
+	BinomialGCD         = solvability.BinomialGCD
+	BinomialsPrime      = solvability.BinomialsPrime
+	GCDTable            = solvability.GCDTable
+	NoCommSolvable      = nocomm.Solvable
+	NoCommBuild         = nocomm.Build
+	NoCommVerify        = nocomm.Verify
+	IdentityRenamingMap = nocomm.IdentityRenaming
+)
+
+// Topology certificates (Theorem 11).
+type (
+	// IISComplex is the iterated-immediate-snapshot protocol complex.
+	IISComplex = topology.Complex
+)
+
+var (
+	BuildIIS           = topology.BuildIIS
+	BoundedRoundsCheck = topology.Solvable
+	// BoundedRoundsCheckSAT is the CDCL-backed variant: it exhausts
+	// instances (e.g. WSB) whose constraints defeat plain backtracking.
+	BoundedRoundsCheckSAT = topology.SolvableSAT
+)
+
+// Paper artifacts (Table 1, Figure 1, Figure 2).
+var (
+	Table1            = harness.Table1
+	Figure1Text       = harness.Figure1Text
+	Figure1DOT        = harness.Figure1DOT
+	Figure2Experiment = harness.Figure2Experiment
+	Figure2Text       = harness.Figure2Text
+	SolvabilityText   = harness.SolvabilityText
+	GCDTableText      = harness.GCDTableText
+)
+
+// Message-passing baselines (internal/msgnet, internal/luby).
+type (
+	// Graph is an undirected message-passing topology.
+	Graph = msgnet.Graph
+)
+
+var (
+	NewGraph       = msgnet.NewGraph
+	Ring           = msgnet.Ring
+	Complete       = msgnet.Complete
+	GNP            = msgnet.GNP
+	LubyMIS        = luby.MIS
+	VerifyMIS      = luby.VerifyMIS
+	LubyColoring   = luby.Coloring
+	VerifyColoring = luby.VerifyColoring
+	RingThreeColor = luby.RingThreeColor
+)

@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API exactly as the examples and
+// downstream users would; deep behavior is tested in the internal
+// packages.
+
+func TestFacadeTaskAlgebra(t *testing.T) {
+	spec := NewSym(6, 3, 1, 4)
+	if !spec.Feasible() || spec.String() != "<6,3,1,4>-GSB" {
+		t.Fatalf("spec misbehaves: %v", spec)
+	}
+	if len(CanonicalFamily(6, 3)) != 7 {
+		t.Error("CanonicalFamily(6,3) should have 7 members")
+	}
+	if len(Hasse(CanonicalFamily(6, 3))) != 7 {
+		t.Error("Figure 1 should have 7 edges")
+	}
+	if !WSB(6).Synonym(KSlot(6, 2)) {
+		t.Error("WSB must equal the 2-slot task")
+	}
+	if !Hardest(6, 3).SameParams(NewSym(6, 3, 2, 2)) {
+		t.Error("Hardest(6,3) should be <6,3,2,2>")
+	}
+}
+
+func TestFacadeEndToEndProtocol(t *testing.T) {
+	const n = 5
+	spec := Renaming(n, n+1)
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := RunVerified(spec, DefaultIDs(n), NewRandomPolicy(seed),
+			func(n int) Solver {
+				return NewSlotRenaming("F2", n, SlotBox("KS", n, n-1, seed))
+			})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Steps == 0 {
+			t.Error("no steps recorded")
+		}
+	}
+}
+
+func TestFacadeUniversalConstruction(t *testing.T) {
+	spec := Election(5)
+	res, err := RunVerified(spec, DefaultIDs(5), NewRoundRobinPolicy(),
+		func(n int) Solver {
+			return NewUniversalConstruction(spec, NewTASRenaming("TAS", n))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaders := 0
+	for _, v := range res.Outputs {
+		if v == 1 {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders", leaders)
+	}
+}
+
+func TestFacadeClassification(t *testing.T) {
+	if Classify(WSB(6)).Status != StatusSolvable {
+		t.Error("WSB(6) should classify solvable")
+	}
+	if Classify(PerfectRenaming(6)).Status != StatusNotSolvable {
+		t.Error("perfect renaming should classify not solvable")
+	}
+	if Classify(Renaming(6, 11)).Status != StatusTrivial {
+		t.Error("(2n-1)-renaming should classify trivial")
+	}
+	if BinomialGCD(6) != 1 || BinomialsPrime(8) {
+		t.Error("binomial arithmetic misbehaves")
+	}
+	if _, ok := NoCommBuild(WSB(5)); ok {
+		t.Error("WSB must not be communication-free")
+	}
+	delta := IdentityRenamingMap(4)
+	if err := NoCommVerify(Renaming(4, 7), delta); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeArtifacts(t *testing.T) {
+	if !strings.Contains(Table1(6, 3), "<6,3,1,4>-GSB    yes") {
+		t.Error("Table1 misrendered")
+	}
+	if !strings.Contains(Figure1DOT(6, 3), "digraph") {
+		t.Error("Figure1DOT misrendered")
+	}
+	rows, err := Figure2Experiment([]int{3}, 5)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("Figure2Experiment: %v", err)
+	}
+	if !strings.Contains(Figure2Text(rows), "renaming") {
+		t.Error("Figure2Text misrendered")
+	}
+	if !strings.Contains(GCDTableText(10), "NOT solvable") {
+		t.Error("GCDTableText misrendered")
+	}
+}
+
+func TestFacadeTopologyCertificate(t *testing.T) {
+	if BoundedRoundsCheck(Election(3), 1) {
+		t.Error("election must not be 1-round solvable")
+	}
+	c := BuildIIS(3, 1)
+	if len(c.Facets) != 13 {
+		t.Errorf("chromatic subdivision of a triangle has 13 facets, got %d", len(c.Facets))
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g := Ring(10)
+	res, err := LubyMIS(g, 1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMIS(g, res.InMIS); err != nil {
+		t.Fatal(err)
+	}
+	col, err := RingThreeColor(100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoring(Ring(100), col.Colors, 3); err != nil {
+		t.Fatal(err)
+	}
+}

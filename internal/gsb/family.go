@@ -1,0 +1,157 @@
+package gsb
+
+import (
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// This file enumerates the <n,m,-,-> sub-family of symmetric GSB tasks and
+// its structure: synonym classes, canonical representatives and the
+// strict-inclusion partial order rendered in the paper's Figure 1.
+
+// FamilyOption configures Family enumeration.
+type FamilyOption func(*familyConfig)
+
+type familyConfig struct {
+	maxU int // inclusive cap on u; 0 means n
+}
+
+// WithMaxU caps the enumerated upper bounds at maxU (the paper's Table 1
+// uses u <= n).
+func WithMaxU(maxU int) FamilyOption {
+	return func(c *familyConfig) { c.maxU = maxU }
+}
+
+// Family enumerates all feasible symmetric <n,m,l,u>-GSB specs with
+// 0 <= l <= u <= n (Lemma 2: m*l <= n <= m*u), ordered as in the paper's
+// Table 1: by decreasing u, then increasing l.
+func Family(n, m int, opts ...FamilyOption) []Spec {
+	cfg := familyConfig{maxU: n}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var specs []Spec
+	for u := cfg.maxU; u >= 1; u-- {
+		if m*u < n {
+			break // smaller u is infeasible too
+		}
+		for l := 0; l <= u; l++ {
+			if m*l > n {
+				break
+			}
+			specs = append(specs, NewSym(n, m, l, u))
+		}
+	}
+	return specs
+}
+
+// SynonymClasses groups specs into synonym classes (same output-vector
+// set). Classes are returned in the order their first member appears in
+// the input; members keep input order.
+func SynonymClasses(specs []Spec) [][]Spec {
+	var classes [][]Spec
+	keys := make([]string, 0, len(specs))
+	index := map[string]int{}
+	for _, s := range specs {
+		key := kernelKey(s)
+		if i, ok := index[key]; ok {
+			classes[i] = append(classes[i], s)
+			continue
+		}
+		index[key] = len(classes)
+		keys = append(keys, key)
+		classes = append(classes, []Spec{s})
+	}
+	_ = keys
+	return classes
+}
+
+func kernelKey(s Spec) string {
+	ks := s.CountingVectors()
+	key := ""
+	for _, k := range ks {
+		key += k.Key() + ";"
+	}
+	return key
+}
+
+// CanonicalFamily returns the distinct canonical representatives of the
+// feasible <n,m,-,-> family, one per synonym class, ordered by decreasing
+// kernel-set size then Table-1 order (matching the left-to-right layout
+// of the paper's Figure 1 for n=6, m=3).
+func CanonicalFamily(n, m int) []Spec {
+	classes := SynonymClasses(Family(n, m))
+	reps := make([]Spec, 0, len(classes))
+	for _, class := range classes {
+		reps = append(reps, class[0].Canonical())
+	}
+	sort.SliceStable(reps, func(i, j int) bool {
+		ki, kj := reps[i].KernelSet(), reps[j].KernelSet()
+		if len(ki) != len(kj) {
+			return len(ki) > len(kj)
+		}
+		// Tie-break deterministically on bounds.
+		li, ui := reps[i].SymBounds()
+		lj, uj := reps[j].SymBounds()
+		if ui != uj {
+			return ui > uj
+		}
+		return li < lj
+	})
+	return reps
+}
+
+// HasseEdge is a directed edge of the strict-inclusion Hasse diagram:
+// S(To) is strictly contained in S(From) with no intermediate task
+// (the paper's Figure 1 draws "From -> To" for "From strictly includes
+// To").
+type HasseEdge struct {
+	From, To Spec
+}
+
+// Hasse computes the Hasse diagram (transitive reduction of strict
+// inclusion) over the given specs, which must be pairwise non-synonymous.
+func Hasse(specs []Spec) []HasseEdge {
+	nSpecs := len(specs)
+	contains := make([][]bool, nSpecs)
+	for i := range specs {
+		contains[i] = make([]bool, nSpecs)
+		for j := range specs {
+			if i != j {
+				contains[i][j] = specs[i].StrictlyContains(specs[j])
+			}
+		}
+	}
+	var edges []HasseEdge
+	for i := 0; i < nSpecs; i++ {
+		for j := 0; j < nSpecs; j++ {
+			if !contains[i][j] {
+				continue
+			}
+			covered := false
+			for k := 0; k < nSpecs && !covered; k++ {
+				if contains[i][k] && contains[k][j] {
+					covered = true
+				}
+			}
+			if !covered {
+				edges = append(edges, HasseEdge{From: specs[i], To: specs[j]})
+			}
+		}
+	}
+	return edges
+}
+
+// KernelSetTotallyOrdered verifies Lemma 3 for a symmetric spec: the
+// kernel set is totally ordered lexicographically. The enumeration
+// already produces descending order, so this re-checks strictness.
+func (s Spec) KernelSetTotallyOrdered() bool {
+	ks := s.KernelSet()
+	for i := 1; i < len(ks); i++ {
+		if vecmath.CompareLex(ks[i-1], ks[i]) <= 0 {
+			return false
+		}
+	}
+	return true
+}

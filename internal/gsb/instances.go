@@ -1,0 +1,71 @@
+package gsb
+
+import "fmt"
+
+// Named task instances from Section 3.2 of the paper.
+
+// Election returns the election asymmetric GSB task: exactly one process
+// outputs 1 and exactly n-1 processes output 2.
+func Election(n int) Spec {
+	if n < 2 {
+		panic(fmt.Sprintf("gsb: election needs n >= 2, got %d", n))
+	}
+	return NewAsym(n, []int{1, n - 1}, []int{1, n - 1})
+}
+
+// WSB returns the weak symmetry breaking task <n,2,1,n-1>-GSB: binary
+// outputs, not all processes decide the same value.
+func WSB(n int) Spec {
+	if n < 2 {
+		panic(fmt.Sprintf("gsb: WSB needs n >= 2, got %d", n))
+	}
+	return NewSym(n, 2, 1, n-1)
+}
+
+// KWSB returns the k-weak symmetry breaking task <n,2,k,n-k>-GSB
+// (requires k <= n/2 for feasibility; 1-WSB is WSB).
+func KWSB(n, k int) Spec {
+	if k < 1 {
+		panic(fmt.Sprintf("gsb: k-WSB needs k >= 1, got %d", k))
+	}
+	return NewSym(n, 2, k, n-k)
+}
+
+// Renaming returns the (non-adaptive) m-renaming task <n,m,0,1>-GSB:
+// processes decide distinct names in [1..m].
+func Renaming(n, m int) Spec {
+	if m < n {
+		// Still a valid (infeasible) spec; the paper only considers m >= n.
+		// We allow constructing it so that feasibility tests can exercise it.
+		return NewSym(n, m, 0, 1)
+	}
+	return NewSym(n, m, 0, 1)
+}
+
+// PerfectRenaming returns the perfect renaming task <n,n,1,1>-GSB, the
+// universal GSB task (Theorem 8).
+func PerfectRenaming(n int) Spec {
+	return NewSym(n, n, 1, 1)
+}
+
+// KSlot returns the k-slot task <n,k,1,n>-GSB: each process decides a
+// value in [1..k] and every value is decided at least once. The paper
+// notes <n,k,1,n>-GSB and <n,k,1,n-k+1>-GSB are synonyms; this returns
+// the former.
+func KSlot(n, k int) Spec {
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("gsb: k-slot needs 1 <= k <= n, got k=%d n=%d", k, n))
+	}
+	return NewSym(n, k, 1, n)
+}
+
+// BoundedHomonymous returns the x-bounded homonymous renaming task
+// <n, ceil((2n-1)/x), 0, x>-GSB (Corollary 2): at most x processes share
+// any name.
+func BoundedHomonymous(n, x int) Spec {
+	if x < 1 {
+		panic(fmt.Sprintf("gsb: bounded homonymous renaming needs x >= 1, got %d", x))
+	}
+	m := (2*n - 1 + x - 1) / x
+	return NewSym(n, m, 0, x)
+}

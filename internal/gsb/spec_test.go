@@ -1,0 +1,488 @@
+package gsb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestNewSymValidation(t *testing.T) {
+	tests := []struct {
+		name       string
+		n, m, l, u int
+	}{
+		{"n zero", 0, 2, 0, 1},
+		{"m zero", 3, 0, 0, 1},
+		{"negative l", 3, 2, -1, 1},
+		{"u below l", 3, 2, 2, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSym(%d,%d,%d,%d) did not panic", tc.n, tc.m, tc.l, tc.u)
+				}
+			}()
+			NewSym(tc.n, tc.m, tc.l, tc.u)
+		})
+	}
+}
+
+func TestNewAsymValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		l, u []int
+	}{
+		{"empty bounds", 3, nil, nil},
+		{"length mismatch", 3, []int{1}, []int{1, 2}},
+		{"negative lower", 3, []int{-1, 0}, []int{1, 3}},
+		{"upper below lower", 3, []int{2, 0}, []int{1, 3}},
+		{"n zero", 0, []int{0}, []int{1}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("NewAsym did not panic")
+				}
+			}()
+			NewAsym(tc.n, tc.l, tc.u)
+		})
+	}
+}
+
+func TestNewAsymCopiesBounds(t *testing.T) {
+	l := []int{1, 1}
+	u := []int{2, 2}
+	s := NewAsym(4, l, u)
+	l[0] = 99
+	u[0] = 99
+	if s.Lower(1) != 1 || s.Upper(1) != 2 {
+		t.Fatal("NewAsym aliases caller slices")
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	// Lemma 2: feasible iff m*l <= n <= m*u.
+	for n := 1; n <= 10; n++ {
+		for m := 1; m <= 5; m++ {
+			for l := 0; l <= 4; l++ {
+				for u := l; u <= 6; u++ {
+					if l == 0 && u == 0 {
+						continue
+					}
+					s := NewSym(n, m, l, u)
+					want := m*l <= n && n <= m*u
+					if got := s.Feasible(); got != want {
+						t.Fatalf("%v Feasible() = %v, want %v", s, got, want)
+					}
+					// Cross-check against actual output existence for tiny sizes.
+					if n <= 5 && m <= 3 {
+						hasOutput := len(s.OutputVectors()) > 0
+						if hasOutput != want {
+							t.Fatalf("%v: OutputVectors emptiness disagrees with Lemma 2", s)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFeasibilityAsymmetric(t *testing.T) {
+	// Lemma 1: feasible iff sum(l) <= n <= sum(u).
+	s := Election(5)
+	if !s.Feasible() {
+		t.Errorf("%v should be feasible", s)
+	}
+	bad := NewAsym(5, []int{3, 3}, []int{3, 3})
+	if bad.Feasible() {
+		t.Errorf("%v should be infeasible (sum of lower bounds 6 > 5)", bad)
+	}
+	bad2 := NewAsym(5, []int{0, 0}, []int{2, 2})
+	if bad2.Feasible() {
+		t.Errorf("%v should be infeasible (sum of upper bounds 4 < 5)", bad2)
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	if got := NewSym(6, 3, 1, 4).String(); got != "<6,3,1,4>-GSB" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Election(4).String(); got != "<4,[1,3],[1,3]>-GSB" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	s := NewSym(4, 2, 1, 3) // WSB for n=4
+	tests := []struct {
+		name    string
+		outputs []int
+		wantErr string
+	}{
+		{"valid balanced", []int{1, 2, 1, 2}, ""},
+		{"valid skewed", []int{1, 1, 1, 2}, ""},
+		{"all same", []int{1, 1, 1, 1}, "above upper bound"},
+		{"all same other", []int{2, 2, 2, 2}, "below lower bound"},
+		{"out of range high", []int{1, 2, 3, 1}, "outside"},
+		{"out of range low", []int{0, 2, 1, 1}, "outside"},
+		{"wrong length", []int{1, 2}, "entries"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := s.Verify(tc.outputs)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Verify(%v) = %v, want nil", tc.outputs, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Verify(%v) = %v, want error containing %q", tc.outputs, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestVerifyAgainstOutputVectors(t *testing.T) {
+	// Verify must accept exactly the enumerated output vectors.
+	specs := []Spec{
+		NewSym(4, 2, 1, 3),
+		NewSym(4, 4, 1, 1),
+		NewSym(3, 5, 0, 1),
+		Election(4),
+		NewAsym(4, []int{0, 1}, []int{2, 4}),
+	}
+	for _, s := range specs {
+		valid := map[string]bool{}
+		for _, o := range s.OutputVectors() {
+			valid[vecmath.Vec(o).Key()] = true
+			if err := s.Verify(o); err != nil {
+				t.Fatalf("%v: enumerated output %v rejected: %v", s, o, err)
+			}
+		}
+		// Exhaustively check all m^n vectors.
+		total := 1
+		for i := 0; i < s.N(); i++ {
+			total *= s.M()
+		}
+		cur := make([]int, s.N())
+		for code := 0; code < total; code++ {
+			c := code
+			for i := range cur {
+				cur[i] = c%s.M() + 1
+				c /= s.M()
+			}
+			err := s.Verify(cur)
+			if valid[vecmath.Vec(cur).Key()] != (err == nil) {
+				t.Fatalf("%v: Verify(%v)=%v disagrees with enumeration", s, cur, err)
+			}
+		}
+	}
+}
+
+func TestCountingVector(t *testing.T) {
+	s := NewSym(6, 3, 0, 6)
+	got := s.CountingVector([]int{1, 2, 1, 3, 1, 2})
+	if !got.Equal(vecmath.Vec{3, 2, 1}) {
+		t.Fatalf("CountingVector = %v, want [3,2,1]", got)
+	}
+}
+
+func TestCountingVectorsMatchOutputEnumeration(t *testing.T) {
+	// Definition 3: C(T) must be exactly the set of counting vectors of
+	// the enumerated output vectors.
+	specs := []Spec{
+		NewSym(5, 2, 1, 4),
+		NewSym(4, 3, 0, 2),
+		NewSym(6, 3, 1, 4),
+		Election(4),
+	}
+	for _, s := range specs {
+		want := map[string]bool{}
+		for _, o := range s.OutputVectors() {
+			want[s.CountingVector(o).Key()] = true
+		}
+		got := s.CountingVectors()
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d counting vectors, want %d", s, len(got), len(want))
+		}
+		for _, c := range got {
+			if !want[c.Key()] {
+				t.Fatalf("%v: unexpected counting vector %v", s, c)
+			}
+		}
+	}
+}
+
+func TestKernelSetTable1(t *testing.T) {
+	// The exact kernel sets from Table 1 of the paper (n=6, m=3).
+	want := map[string][]string{
+		"<6,3,0,6>-GSB": {"[6,0,0]", "[5,1,0]", "[4,2,0]", "[4,1,1]", "[3,3,0]", "[3,2,1]", "[2,2,2]"},
+		"<6,3,1,6>-GSB": {"[4,1,1]", "[3,2,1]", "[2,2,2]"},
+		"<6,3,0,5>-GSB": {"[5,1,0]", "[4,2,0]", "[4,1,1]", "[3,3,0]", "[3,2,1]", "[2,2,2]"},
+		"<6,3,1,5>-GSB": {"[4,1,1]", "[3,2,1]", "[2,2,2]"},
+		"<6,3,2,5>-GSB": {"[2,2,2]"},
+		"<6,3,0,4>-GSB": {"[4,2,0]", "[4,1,1]", "[3,3,0]", "[3,2,1]", "[2,2,2]"},
+		"<6,3,1,4>-GSB": {"[4,1,1]", "[3,2,1]", "[2,2,2]"},
+		"<6,3,2,4>-GSB": {"[2,2,2]"},
+		"<6,3,0,3>-GSB": {"[3,3,0]", "[3,2,1]", "[2,2,2]"},
+		"<6,3,1,3>-GSB": {"[3,2,1]", "[2,2,2]"},
+		"<6,3,2,3>-GSB": {"[2,2,2]"},
+		"<6,3,0,2>-GSB": {"[2,2,2]"},
+		"<6,3,1,2>-GSB": {"[2,2,2]"},
+		"<6,3,2,2>-GSB": {"[2,2,2]"},
+	}
+	for _, s := range Family(6, 3) {
+		name := s.String()
+		wantKs, ok := want[name]
+		if !ok {
+			// <6,3,2,6> is feasible but omitted from the paper's table;
+			// its kernel set must match its synonyms.
+			if name != "<6,3,2,6>-GSB" {
+				t.Fatalf("unexpected family member %v", s)
+			}
+			wantKs = []string{"[2,2,2]"}
+		}
+		ks := s.KernelSet()
+		if len(ks) != len(wantKs) {
+			t.Fatalf("%v: kernel set %v, want %v", s, ks, wantKs)
+		}
+		for i := range ks {
+			if ks[i].String() != wantKs[i] {
+				t.Errorf("%v: kernel[%d] = %v, want %v", s, i, ks[i], wantKs[i])
+			}
+		}
+	}
+}
+
+func TestKernelSetLexOrdered(t *testing.T) {
+	// Lemma 3: kernel sets are totally ordered lexicographically.
+	for n := 1; n <= 9; n++ {
+		for m := 1; m <= 4; m++ {
+			for _, s := range Family(n, m) {
+				if !s.KernelSetTotallyOrdered() {
+					t.Fatalf("%v kernel set not totally ordered", s)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedKernelVector(t *testing.T) {
+	tests := []struct {
+		n, m int
+		want vecmath.Vec
+	}{
+		{6, 3, vecmath.Vec{2, 2, 2}},
+		{7, 3, vecmath.Vec{3, 2, 2}},
+		{8, 3, vecmath.Vec{3, 3, 2}},
+		{5, 1, vecmath.Vec{5}},
+	}
+	for _, tc := range tests {
+		if got := BalancedKernelVector(tc.n, tc.m); !got.Equal(tc.want) {
+			t.Errorf("BalancedKernelVector(%d,%d) = %v, want %v", tc.n, tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestBalancedKernelVectorInEveryFeasibleTask(t *testing.T) {
+	// Paper (Section 4.1): the balanced kernel vector belongs to all
+	// feasible <n,m,-,-> tasks.
+	for n := 1; n <= 9; n++ {
+		for m := 1; m <= 4; m++ {
+			bk := BalancedKernelVector(n, m).Key()
+			for _, s := range Family(n, m) {
+				found := false
+				for _, k := range s.KernelSet() {
+					if k.Key() == bk {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%v kernel set lacks balanced vector %s", s, bk)
+				}
+			}
+		}
+	}
+}
+
+func TestSynonymsFromPaper(t *testing.T) {
+	// Section 4: <n,2,1,n-1>, <n,2,0,n-1> and <n,2,1,n> are synonyms.
+	n := 6
+	a := NewSym(n, 2, 1, n-1)
+	b := NewSym(n, 2, 0, n-1)
+	c := NewSym(n, 2, 1, n)
+	if !a.Synonym(b) || !a.Synonym(c) || !b.Synonym(c) {
+		t.Error("WSB synonym triple not detected")
+	}
+	// Section 4.1 examples: <6,3,2,5>, <6,3,2,4>, <6,3,2,3>, <6,3,0,2>,
+	// <6,3,1,2> and <6,3,2,2> are synonyms.
+	group := []Spec{
+		NewSym(6, 3, 2, 5), NewSym(6, 3, 2, 4), NewSym(6, 3, 2, 3),
+		NewSym(6, 3, 0, 2), NewSym(6, 3, 1, 2), NewSym(6, 3, 2, 2),
+	}
+	for i := range group {
+		for j := range group {
+			if !group[i].Synonym(group[j]) {
+				t.Errorf("%v and %v should be synonyms", group[i], group[j])
+			}
+		}
+	}
+	// <6,3,1,6>, <6,3,1,5> and <6,3,1,4> are synonyms.
+	group2 := []Spec{NewSym(6, 3, 1, 6), NewSym(6, 3, 1, 5), NewSym(6, 3, 1, 4)}
+	for i := range group2 {
+		for j := range group2 {
+			if !group2[i].Synonym(group2[j]) {
+				t.Errorf("%v and %v should be synonyms", group2[i], group2[j])
+			}
+		}
+	}
+	// Non-synonyms.
+	if NewSym(6, 3, 1, 4).Synonym(NewSym(6, 3, 0, 3)) {
+		t.Error("<6,3,1,4> and <6,3,0,3> are not synonyms")
+	}
+	// The k-slot synonym from Section 3.2: <n,k,1,n> == <n,k,1,n-k+1>.
+	if !KSlot(7, 3).Synonym(NewSym(7, 3, 1, 5)) {
+		t.Error("<7,3,1,7> and <7,3,1,5> should be synonyms")
+	}
+}
+
+func TestSynonymDifferentShape(t *testing.T) {
+	if NewSym(4, 2, 1, 3).Synonym(NewSym(5, 2, 1, 4)) {
+		t.Error("different n cannot be synonyms")
+	}
+	if NewSym(4, 2, 1, 3).Synonym(NewSym(4, 3, 1, 3)) {
+		t.Error("different m cannot be synonyms")
+	}
+}
+
+func TestKSlotIsWSBFor2Slots(t *testing.T) {
+	// Section 3.2: the WSB task is the 2-slot task.
+	for n := 2; n <= 8; n++ {
+		if !KSlot(n, 2).Synonym(WSB(n)) {
+			t.Errorf("2-slot and WSB differ for n=%d", n)
+		}
+	}
+}
+
+func TestContainmentMonotonicity(t *testing.T) {
+	// Lemma 4: S(<n,m,l,u>) ⊆ S(<n,m,l,u'>) for u' >= u.
+	// Lemma 5: S(<n,m,l,u>) ⊆ S(<n,m,l',u>) for l' <= l.
+	for n := 2; n <= 8; n++ {
+		for m := 2; m <= 4; m++ {
+			for _, s := range Family(n, m) {
+				l, u := s.SymBounds()
+				for up := u; up <= n; up++ {
+					if !NewSym(n, m, l, up).Contains(s) {
+						t.Fatalf("Lemma 4 fails: %v not contained in <%d,%d,%d,%d>", s, n, m, l, up)
+					}
+				}
+				for lp := 0; lp <= l; lp++ {
+					if !NewSym(n, m, lp, u).Contains(s) {
+						t.Fatalf("Lemma 5 fails: %v not contained in <%d,%d,%d,%d>", s, n, m, lp, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHardest(t *testing.T) {
+	// Theorem 5: <n,m,floor(n/m),ceil(n/m)> is contained in every feasible
+	// <n,m,-,-> task.
+	for n := 2; n <= 9; n++ {
+		for m := 1; m <= 4; m++ {
+			h := Hardest(n, m)
+			if !h.Feasible() {
+				t.Fatalf("hardest task %v infeasible", h)
+			}
+			for _, s := range Family(n, m) {
+				if !s.Contains(h) {
+					t.Fatalf("Theorem 5 fails: %v does not contain hardest %v", s, h)
+				}
+			}
+		}
+	}
+	// Specific examples from the paper: <10,4,2,3> is the hardest of
+	// <10,4,-,->; perfect renaming <n,n,1,1> is Hardest(n, n).
+	if !Hardest(10, 4).SameParams(NewSym(10, 4, 2, 3)) {
+		t.Error("Hardest(10,4) != <10,4,2,3>")
+	}
+	if !Hardest(5, 5).SameParams(PerfectRenaming(5)) {
+		t.Error("Hardest(5,5) != perfect renaming")
+	}
+}
+
+func TestTheorem6Containments(t *testing.T) {
+	// Theorem 6: with l' = n-u(m-1) and u' = n-l(m-1):
+	// (i)  l' >= l implies S(<n,m,l',u>) ⊆ S(<n,m,l,u>)
+	// (ii) u' <= u implies S(<n,m,l,u'>) ⊆ S(<n,m,l,u>)
+	for n := 2; n <= 9; n++ {
+		for m := 2; m <= 4; m++ {
+			for _, s := range Family(n, m) {
+				l, u := s.SymBounds()
+				lp := n - u*(m-1)
+				up := n - l*(m-1)
+				if lp >= l && lp >= 0 && lp <= u {
+					t1 := NewSym(n, m, lp, u)
+					if !s.Contains(t1) {
+						t.Fatalf("Theorem 6(i) fails for %v (l'=%d)", s, lp)
+					}
+				}
+				if up <= u && up >= l {
+					t2 := NewSym(n, m, l, up)
+					if !s.Contains(t2) {
+						t.Fatalf("Theorem 6(ii) fails for %v (u'=%d)", s, up)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestElectionContainedInWSB(t *testing.T) {
+	// Section 5.3: the output vectors of election are contained in those
+	// of WSB, so election trivially solves WSB.
+	for n := 2; n <= 8; n++ {
+		if !WSB(n).Contains(Election(n)) {
+			t.Errorf("WSB(%d) does not contain Election(%d)", n, n)
+		}
+		if Election(n).Synonym(WSB(n)) == (n != 2) {
+			// For n=2, exactly-one-1 equals not-all-same; for n>2 they differ.
+			t.Errorf("Election/WSB synonymy wrong for n=%d", n)
+		}
+	}
+}
+
+func TestColorlessVectorNotGSB(t *testing.T) {
+	// Section 3.2: in a GSB task an output vector where all entries equal
+	// the same value v requires m=1 or u >= n; e.g. consensus-like vectors
+	// are excluded from WSB.
+	s := WSB(5)
+	if err := s.Verify([]int{1, 1, 1, 1, 1}); err == nil {
+		t.Error("WSB accepted an all-same vector")
+	}
+}
+
+func TestSymBoundsPanicsOnAsymmetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Election(3).SymBounds()
+}
+
+func TestKernelSetPanicsOnAsymmetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Election(3).KernelSet()
+}

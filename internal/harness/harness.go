@@ -1,0 +1,203 @@
+// Package harness regenerates the paper's evaluation artifacts — Table 1
+// (kernel vectors of the <6,3,-,-> family), Figure 1 (the inclusion order
+// of canonical tasks) and the Figure 2 experiment (slot-task renaming) —
+// as text and DOT, for the golden tests and the cmd/ tools.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gsb"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/solvability"
+	"repro/internal/tasks"
+)
+
+// Table1 renders the kernel-vector table of the <n,m,-,-> family in the
+// layout of the paper's Table 1: one column per kernel vector of the
+// loosest task (descending lexicographic order), one row per feasible
+// (l,u) pair (decreasing u, increasing l), an x where the kernel vector
+// belongs to the task, and a "canonical" marker on canonical rows.
+func Table1(n, m int) string {
+	family := gsb.Family(n, m)
+	if len(family) == 0 {
+		return fmt.Sprintf("no feasible <%d,%d,-,-> tasks\n", n, m)
+	}
+	columns := family[0].KernelSet() // loosest task has every kernel vector
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernels of <%d,%d,l,u>-GSB tasks\n", n, m)
+	fmt.Fprintf(&b, "%-16s %-9s", "task", "canonical")
+	for _, k := range columns {
+		fmt.Fprintf(&b, " %-*s", len(k.String()), k)
+	}
+	b.WriteByte('\n')
+	for _, spec := range family {
+		name := spec.String()
+		canonical := ""
+		if spec.IsCanonical() {
+			canonical = "yes"
+		}
+		fmt.Fprintf(&b, "%-16s %-9s", name, canonical)
+		members := map[string]bool{}
+		for _, k := range spec.KernelSet() {
+			members[k.Key()] = true
+		}
+		for _, k := range columns {
+			mark := ""
+			if members[k.Key()] {
+				mark = "x"
+			}
+			fmt.Fprintf(&b, " %-*s", len(k.String()), center(mark, len(k.String())))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+// Figure1Text renders the canonical tasks of the <n,m,-,-> family and the
+// Hasse diagram of strict inclusion ("A -> B" means S(B) is strictly
+// contained in S(A), i.e. B is harder).
+func Figure1Text(n, m int) string {
+	reps := gsb.CanonicalFamily(n, m)
+	edges := gsb.Hasse(reps)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Canonical <%d,%d,-,-> GSB tasks, ordered by strict inclusion\n", n, m)
+	for _, r := range reps {
+		flags := []string{}
+		if r.LAnchored() {
+			flags = append(flags, "l-anchored")
+		}
+		if r.UAnchored() {
+			flags = append(flags, "u-anchored")
+		}
+		fmt.Fprintf(&b, "  %s  kernel %s  %s\n", r, kernelString(r), strings.Join(flags, " "))
+	}
+	b.WriteString("edges (A -> B means A strictly includes B):\n")
+	lines := make([]string, 0, len(edges))
+	for _, e := range edges {
+		lines = append(lines, fmt.Sprintf("  %s -> %s", e.From, e.To))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func kernelString(s gsb.Spec) string {
+	ks := s.KernelSet()
+	parts := make([]string, len(ks))
+	for i, k := range ks {
+		parts[i] = k.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Figure1DOT renders the Hasse diagram in Graphviz DOT format.
+func Figure1DOT(n, m int) string {
+	reps := gsb.CanonicalFamily(n, m)
+	edges := gsb.Hasse(reps)
+	var b strings.Builder
+	b.WriteString("digraph gsb {\n  rankdir=LR;\n")
+	for _, r := range reps {
+		shape := "ellipse"
+		if r.LUAnchored() {
+			shape = "doubleoctagon"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", r.String(), shape)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e.From.String(), e.To.String())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Figure2Row is one data point of the Figure 2 experiment: the slot-task
+// renaming protocol run at size n over many seeds.
+type Figure2Row struct {
+	N         int
+	Runs      int
+	AllValid  bool
+	MaxName   int
+	MeanSteps float64
+}
+
+// Figure2Experiment runs the Figure 2 algorithm (slot-task renaming) for
+// each n with `runs` seeded-random schedules and verifies every output
+// against the <n,n+1,0,1>-GSB task.
+func Figure2Experiment(ns []int, runs int) ([]Figure2Row, error) {
+	var rows []Figure2Row
+	for _, n := range ns {
+		spec := gsb.Renaming(n, n+1)
+		row := Figure2Row{N: n, Runs: runs, AllValid: true}
+		totalSteps := 0
+		for seed := int64(0); seed < int64(runs); seed++ {
+			res, err := tasks.RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+				func(n int) tasks.Solver {
+					return tasks.NewSlotRenaming("F2", n, mem.SlotBox("KS", n, n-1, seed))
+				})
+			if err != nil {
+				return nil, fmt.Errorf("harness: n=%d seed=%d: %w", n, seed, err)
+			}
+			totalSteps += res.Steps
+			for i, name := range res.Outputs {
+				if res.Decided[i] && name > row.MaxName {
+					row.MaxName = name
+				}
+			}
+		}
+		row.MeanSteps = float64(totalSteps) / float64(runs)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure2Text renders the Figure 2 experiment rows.
+func Figure2Text(rows []Figure2Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: (n+1)-renaming from the (n-1)-slot task\n")
+	b.WriteString("    n   runs  valid  max-name  mean-steps\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %3d  %5d  %-5v  %8d  %10.1f\n", r.N, r.Runs, r.AllValid, r.MaxName, r.MeanSteps)
+	}
+	return b.String()
+}
+
+// SolvabilityText renders the classification of a family (used by
+// cmd/gsbclassify).
+func SolvabilityText(n, m int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Wait-free solvability of the <%d,%d,-,-> family\n", n, m)
+	for _, r := range solvability.FamilyReport(n, m) {
+		fmt.Fprintf(&b, "  %-16s -> %-28s (%s)\n", r.Spec, r.Status, r.Reason)
+	}
+	return b.String()
+}
+
+// GCDTableText renders the Theorem 10 arithmetic table.
+func GCDTableText(maxN int) string {
+	var b strings.Builder
+	b.WriteString("Theorem 10 arithmetic: gcd{C(n,i) : 1<=i<=n/2}\n")
+	b.WriteString("    n  gcd  prime-set  n-is-prime-power  WSB/(2n-2)-renaming\n")
+	for _, row := range solvability.GCDTable(maxN) {
+		status := "solvable"
+		if !row.Prime {
+			status = "NOT solvable"
+		}
+		fmt.Fprintf(&b, "  %3d  %3d  %-9v  %-16v  %s\n", row.N, row.GCD, row.Prime, row.PrimePower, status)
+	}
+	return b.String()
+}

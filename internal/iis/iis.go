@@ -1,0 +1,129 @@
+// Package iis implements one-shot immediate snapshot objects (the
+// Borowsky-Gafni "levels" algorithm, PODC 1993) and their iteration, built
+// on the shared-memory substrate of package mem.
+//
+// An immediate snapshot returns, to each participating process, a view
+// (set of posted values) satisfying three properties that make the
+// one-round protocol complex the standard chromatic subdivision used in
+// the paper's Theorem 11:
+//
+//   - self-inclusion: a process's view contains its own value;
+//   - containment:    any two views are ordered by inclusion;
+//   - immediacy:      if j's value is in i's view, then j's view is a
+//     subset of i's view.
+//
+// Package topology builds the same executions combinatorially; the two
+// are cross-checked in tests.
+package iis
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// View is the result of an immediate-snapshot invocation: Present[j]
+// reports whether process j's value is in the view, and Vals[j] is that
+// value when present.
+type View[T any] struct {
+	Vals    []T
+	Present []bool
+}
+
+// Size returns the number of processes in the view.
+func (v View[T]) Size() int {
+	size := 0
+	for _, p := range v.Present {
+		if p {
+			size++
+		}
+	}
+	return size
+}
+
+// Contains reports whether process j is in the view.
+func (v View[T]) Contains(j int) bool { return v.Present[j] }
+
+// SubsetOf reports whether v's participant set is contained in w's.
+func (v View[T]) SubsetOf(w View[T]) bool {
+	for j, p := range v.Present {
+		if p && !w.Present[j] {
+			return false
+		}
+	}
+	return true
+}
+
+type isCell[T any] struct {
+	level int // n+1 = not started; processes descend toward 1
+	val   T
+}
+
+// ImmediateSnapshot is a one-shot immediate snapshot object for n
+// processes.
+type ImmediateSnapshot[T any] struct {
+	n    int
+	regs *mem.Array[isCell[T]]
+}
+
+// New allocates a one-shot immediate snapshot object.
+func New[T any](name string, n int) *ImmediateSnapshot[T] {
+	return &ImmediateSnapshot[T]{n: n, regs: mem.NewArray[isCell[T]](name, n)}
+}
+
+// Invoke posts v and returns the caller's immediate-snapshot view. Each
+// process must invoke at most once. The algorithm is the Borowsky-Gafni
+// levels construction: descend one level at a time, snapshot, and return
+// when at least `level` processes are observed at or below the current
+// level.
+func (is *ImmediateSnapshot[T]) Invoke(p *sched.Proc, v T) View[T] {
+	level := is.n + 1
+	for {
+		level--
+		is.regs.Write(p, isCell[T]{level: level, val: v})
+		cells, oks := is.regs.Snapshot(p)
+		view := View[T]{Vals: make([]T, is.n), Present: make([]bool, is.n)}
+		size := 0
+		for j := 0; j < is.n; j++ {
+			if oks[j] && cells[j].level <= level {
+				view.Present[j] = true
+				view.Vals[j] = cells[j].val
+				size++
+			}
+		}
+		if size >= level {
+			return view
+		}
+	}
+}
+
+// Iterated is a sequence of fresh immediate-snapshot objects; each round's
+// input is the process's full-information state from the previous round.
+// It realizes the r-round IIS executions whose complex is the r-iterated
+// standard chromatic subdivision.
+type Iterated[T any] struct {
+	n      int
+	rounds []*ImmediateSnapshot[any]
+}
+
+// NewIterated allocates r rounds of immediate snapshots for n processes.
+func NewIterated[T any](name string, n, r int) *Iterated[T] {
+	rounds := make([]*ImmediateSnapshot[any], r)
+	for i := range rounds {
+		rounds[i] = New[any](name, n)
+	}
+	return &Iterated[T]{n: n, rounds: rounds}
+}
+
+// Run invokes each round in order, threading the full-information state:
+// the round-k input of a process is its round-(k-1) view (as an opaque
+// value). It returns the view of every round; the last one is the
+// process's final state.
+func (it *Iterated[T]) Run(p *sched.Proc, input T) []View[any] {
+	views := make([]View[any], len(it.rounds))
+	var state any = input
+	for k, is := range it.rounds {
+		views[k] = is.Invoke(p, state)
+		state = views[k]
+	}
+	return views
+}

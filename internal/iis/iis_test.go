@@ -1,0 +1,199 @@
+package iis
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// runOnce executes one immediate-snapshot invocation per process under the
+// given policy and returns each participant's view (nil for processes that
+// crashed before returning).
+func runOnce(t *testing.T, n int, policy sched.Policy) []*View[int] {
+	t.Helper()
+	is := New[int]("IS", n)
+	views := make([]*View[int], n)
+	r := sched.NewRunner(n, sched.DefaultIDs(n), policy, sched.WithMaxSteps(1<<20))
+	_, err := r.Run(func(p *sched.Proc) {
+		v := is.Invoke(p, p.ID()*10)
+		p.Exec("record", func() any {
+			vv := v
+			views[p.Index()] = &vv
+			return nil
+		})
+		p.Decide(1)
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return views
+}
+
+func checkISProperties(t *testing.T, views []*View[int], label string) {
+	t.Helper()
+	for i, vi := range views {
+		if vi == nil {
+			continue
+		}
+		// Self-inclusion.
+		if !vi.Contains(i) {
+			t.Fatalf("%s: view of %d lacks itself: %+v", label, i, *vi)
+		}
+		// Values are the posted ones.
+		for j, present := range vi.Present {
+			if present && vi.Vals[j] != (j+1)*10 {
+				t.Fatalf("%s: view of %d has wrong value for %d: %d", label, i, j, vi.Vals[j])
+			}
+		}
+		for j, vj := range views {
+			if vj == nil {
+				continue
+			}
+			// Containment (comparability).
+			if !vi.SubsetOf(*vj) && !vj.SubsetOf(*vi) {
+				t.Fatalf("%s: views of %d and %d incomparable: %v vs %v",
+					label, i, j, vi.Present, vj.Present)
+			}
+			// Immediacy.
+			if vi.Contains(j) && !vj.SubsetOf(*vi) {
+				t.Fatalf("%s: immediacy violated: %d in view of %d but view(%d) ⊄ view(%d)",
+					label, j, i, j, i)
+			}
+		}
+	}
+}
+
+func TestImmediateSnapshotPropertiesRandom(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for seed := int64(0); seed < 40; seed++ {
+			views := runOnce(t, n, sched.NewRandom(seed))
+			checkISProperties(t, views, "random")
+		}
+	}
+}
+
+func TestImmediateSnapshotPropertiesWithCrashes(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		for seed := int64(0); seed < 40; seed++ {
+			views := runOnce(t, n, sched.NewRandomCrash(seed, 0.05, n-1))
+			checkISProperties(t, views, "crashy")
+		}
+	}
+}
+
+func TestImmediateSnapshotSolo(t *testing.T) {
+	views := runOnce(t, 1, sched.NewRoundRobin())
+	if views[0] == nil || views[0].Size() != 1 || !views[0].Contains(0) {
+		t.Fatalf("solo view = %+v", views[0])
+	}
+}
+
+func TestImmediateSnapshotSequentialGivesPrefixViews(t *testing.T) {
+	// Under round-robin... actually under a *sequential* schedule (each
+	// process runs to completion before the next starts), views must be
+	// strictly growing prefixes by the containment property, with sizes
+	// 1, 2, ..., n.
+	n := 4
+	var script []sched.Decision
+	// Each process needs at most n iterations of (write, snapshot) plus a
+	// record and decide; grant generously: process i gets 4n+4 consecutive
+	// steps.
+	for i := 0; i < n; i++ {
+		for k := 0; k < 4*n+4; k++ {
+			script = append(script, sched.Decision{Proc: i})
+		}
+	}
+	views := runOnce(t, n, sched.NewScript(script))
+	for i := 0; i < n; i++ {
+		if views[i] == nil {
+			t.Fatalf("process %d has no view", i)
+		}
+		if got := views[i].Size(); got != i+1 {
+			t.Fatalf("sequential run: view size of process %d = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestImmediateSnapshotSimultaneousFullView(t *testing.T) {
+	// A perfectly synchronous lockstep schedule makes everyone descend
+	// together; all must obtain the full view of size n.
+	n := 4
+	var script []sched.Decision
+	for round := 0; round < 16*n; round++ {
+		for i := 0; i < n; i++ {
+			script = append(script, sched.Decision{Proc: i})
+		}
+	}
+	views := runOnce(t, n, sched.NewScript(script))
+	for i := 0; i < n; i++ {
+		if views[i] == nil || views[i].Size() != n {
+			t.Fatalf("lockstep run: view of %d = %+v, want full", i, views[i])
+		}
+	}
+}
+
+func TestViewHelpers(t *testing.T) {
+	v := View[int]{Vals: []int{7, 0, 9}, Present: []bool{true, false, true}}
+	if v.Size() != 2 {
+		t.Errorf("Size = %d", v.Size())
+	}
+	if !v.Contains(0) || v.Contains(1) {
+		t.Error("Contains misbehaves")
+	}
+	w := View[int]{Vals: []int{7, 8, 9}, Present: []bool{true, true, true}}
+	if !v.SubsetOf(w) || w.SubsetOf(v) {
+		t.Error("SubsetOf misbehaves")
+	}
+}
+
+func TestIteratedViewsShrinkOrStay(t *testing.T) {
+	// In IIS, a process's round-(k+1) view participants are a subset of
+	// the processes that were active; views remain comparable per round.
+	const n, rounds = 4, 3
+	for seed := int64(0); seed < 30; seed++ {
+		it := NewIterated[int]("IIS", n, rounds)
+		all := make([][]View[any], n)
+		r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(seed),
+			sched.WithMaxSteps(1<<20))
+		_, err := r.Run(func(p *sched.Proc) {
+			views := it.Run(p, p.ID())
+			p.Exec("record", func() any { all[p.Index()] = views; return nil })
+			p.Decide(1)
+		})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		for k := 0; k < rounds; k++ {
+			for i := 0; i < n; i++ {
+				if all[i] == nil {
+					continue
+				}
+				vi := all[i][k]
+				if !vi.Contains(i) {
+					t.Fatalf("round %d: self-inclusion violated for %d", k, i)
+				}
+				for j := 0; j < n; j++ {
+					if all[j] == nil {
+						continue
+					}
+					vj := all[j][k]
+					if !viewSubset(vi, vj) && !viewSubset(vj, vi) {
+						t.Fatalf("round %d: incomparable views %v vs %v", k, vi.Present, vj.Present)
+					}
+					if vi.Contains(j) && !viewSubset(vj, vi) {
+						t.Fatalf("round %d: immediacy violated (%d sees %d)", k, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func viewSubset(a, b View[any]) bool {
+	for j, p := range a.Present {
+		if p && !b.Present[j] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,156 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gsb"
+	"repro/internal/sched"
+)
+
+func TestKTASBounds(t *testing.T) {
+	// Among p participants, at least 1 and at most k obtain 1 — for every
+	// participation level (adaptivity).
+	n := 6
+	for k := 1; k <= 3; k++ {
+		for p := 1; p <= n; p++ {
+			for seed := int64(0); seed < 10; seed++ {
+				ktas := NewKTAS("T", k)
+				var policy sched.Policy = sched.NewRandom(seed)
+				for i := p; i < n; i++ {
+					policy = &sched.CrashAt{Inner: policy, Proc: i, StepsBeforeCrash: 0}
+				}
+				winners := 0
+				r := sched.NewRunner(n, sched.DefaultIDs(n), policy)
+				res, err := r.Run(func(pr *sched.Proc) {
+					v := ktas.Invoke(pr)
+					pr.Exec("count", func() any {
+						if v == 1 {
+							winners++
+						}
+						return nil
+					})
+					pr.Decide(v + 1)
+				})
+				if err != nil {
+					t.Fatalf("k=%d p=%d seed=%d: %v", k, p, seed, err)
+				}
+				_ = res
+				if winners < 1 || winners > k {
+					t.Fatalf("k=%d p=%d seed=%d: %d winners", k, p, seed, winners)
+				}
+			}
+		}
+	}
+}
+
+func TestKLeaderElectionDecidesParticipants(t *testing.T) {
+	// Every decided identity belongs to a participant, and at most k
+	// distinct identities are decided — even under partial participation.
+	n := 5
+	for k := 1; k <= 3; k++ {
+		for p := 1; p <= n; p++ {
+			for seed := int64(0); seed < 10; seed++ {
+				el := NewKLeaderElection("L", k)
+				var policy sched.Policy = sched.NewRandom(seed)
+				for i := p; i < n; i++ {
+					policy = &sched.CrashAt{Inner: policy, Proc: i, StepsBeforeCrash: 0}
+				}
+				r := sched.NewRunner(n, sched.DefaultIDs(n), policy)
+				res, err := r.Run(func(pr *sched.Proc) {
+					pr.Decide(el.Invoke(pr, pr.ID()))
+				})
+				if err != nil {
+					t.Fatalf("k=%d p=%d seed=%d: %v", k, p, seed, err)
+				}
+				distinct := map[int]bool{}
+				for i := 0; i < n; i++ {
+					if !res.Decided[i] {
+						continue
+					}
+					leader := res.Outputs[i]
+					if leader < 1 || leader > p {
+						t.Fatalf("k=%d p=%d seed=%d: leader %d is not a participant (ids 1..%d participate)",
+							k, p, seed, leader, p)
+					}
+					distinct[leader] = true
+				}
+				if len(distinct) > k {
+					t.Fatalf("k=%d p=%d seed=%d: %d distinct leaders", k, p, seed, len(distinct))
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveVersusGSBElection demonstrates the paper's Section 1
+// distinction: election GSB is a NON-adaptive form of test&set. A GSB
+// election box may elect a process that never participates (legal: GSB
+// bounds constrain complete vectors only), whereas test&set's winner is
+// always a participant.
+func TestAdaptiveVersusGSBElection(t *testing.T) {
+	n := 4
+	// Find a seed whose election box assigns value 1 to a process that we
+	// then crash before participation; the surviving processes all decide
+	// 2 — a legal GSB prefix with no leader among participants.
+	found := false
+	for seed := int64(0); seed < 50 && !found; seed++ {
+		box := NewTaskBox("el", gsb.Election(n), seed)
+		policy := &sched.CrashAt{Inner: sched.NewRoundRobin(), Proc: 0, StepsBeforeCrash: 0}
+		r := sched.NewRunner(n, sched.DefaultIDs(n), policy)
+		res, err := r.Run(func(p *sched.Proc) {
+			p.Decide(box.Invoke(p))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaderAmongSurvivors := false
+		for i := 1; i < n; i++ {
+			if res.Outputs[i] == 1 {
+				leaderAmongSurvivors = true
+			}
+		}
+		if !leaderAmongSurvivors {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no run left the participants leaderless; election GSB should permit this")
+	}
+	// Test&set (1-TAS), in contrast, always crowns a participant.
+	for seed := int64(0); seed < 50; seed++ {
+		ktas := NewKTAS("T", 1)
+		policy := &sched.CrashAt{Inner: sched.NewRandom(seed), Proc: 0, StepsBeforeCrash: 0}
+		winners := 0
+		r := sched.NewRunner(n, sched.DefaultIDs(n), policy)
+		_, err := r.Run(func(p *sched.Proc) {
+			if ktas.Invoke(p) == 1 {
+				p.Exec("count", func() any { winners++; return nil })
+			}
+			p.Decide(1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if winners != 1 {
+			t.Fatalf("seed=%d: test&set crowned %d participants", seed, winners)
+		}
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewKTAS("x", 0) },
+		func() { NewKLeaderElection("x", 0) },
+	} {
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil || !strings.Contains(rec.(string), "k >= 1") {
+					t.Fatalf("recover = %v", rec)
+				}
+			}()
+			fn()
+		}()
+	}
+}

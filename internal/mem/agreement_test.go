@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gsb"
+	"repro/internal/sched"
+)
+
+func TestConsensusAgreementAndValidity(t *testing.T) {
+	n := 5
+	for seed := int64(0); seed < 20; seed++ {
+		cons := NewConsensus("C")
+		proposals := make([]int, n)
+		r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(seed))
+		res, err := r.Run(func(p *sched.Proc) {
+			v := p.ID() * 10
+			p.Exec("record", func() any { proposals[p.Index()] = v; return nil })
+			p.Decide(cons.Propose(p, v))
+		})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		out, err := res.DecidedVector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		proposed := map[int]bool{}
+		for _, v := range proposals {
+			proposed[v] = true
+		}
+		for i := 1; i < n; i++ {
+			if out[i] != out[0] {
+				t.Fatalf("seed=%d: agreement violated: %v", seed, out)
+			}
+		}
+		if !proposed[out[0]] {
+			t.Fatalf("seed=%d: decided %d was never proposed", seed, out[0])
+		}
+	}
+}
+
+func TestKSetAgreementBounds(t *testing.T) {
+	n := 6
+	for k := 1; k <= 3; k++ {
+		for seed := int64(0); seed < 20; seed++ {
+			ksa := NewKSetAgreement("S", k)
+			r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(seed))
+			res, err := r.Run(func(p *sched.Proc) {
+				p.Decide(ksa.Propose(p, p.ID()*10))
+			})
+			if err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			out, err := res.DecidedVector()
+			if err != nil {
+				t.Fatal(err)
+			}
+			distinct := map[int]bool{}
+			for i, v := range out {
+				if v%10 != 0 || v < 10 || v > n*10 {
+					t.Fatalf("k=%d seed=%d: process %d decided unproposed %d", k, seed, i, v)
+				}
+				distinct[v] = true
+			}
+			if len(distinct) > k {
+				t.Fatalf("k=%d seed=%d: %d distinct decisions", k, seed, len(distinct))
+			}
+		}
+	}
+}
+
+func TestKSetAgreementValidation(t *testing.T) {
+	defer func() {
+		rec := recover()
+		if rec == nil || !strings.Contains(rec.(string), "k >= 1") {
+			t.Fatalf("recover = %v", rec)
+		}
+	}()
+	NewKSetAgreement("x", 0)
+}
+
+// TestAgreementTasksAreNotGSB makes Section 3.2's observation executable:
+// consensus outputs depend on inputs, so no single GSB spec describes
+// consensus across input assignments. Concretely, with proposals all
+// equal to x, the only legal consensus output vector is all-x; a GSB task
+// <n,m,l,u> with m > 1 that accepted all-x for every x would need u >= n
+// for every value AND to reject nothing else — but consensus also rejects
+// mixed vectors, which every GSB spec accepting the constant vectors
+// accepts.
+func TestAgreementTasksAreNotGSB(t *testing.T) {
+	n := 3
+	// Suppose some GSB spec captured binary consensus outputs. It must
+	// accept [1,1,1] and [2,2,2] (valid consensus outcomes for matching
+	// proposal vectors).
+	for _, mv := range []int{2, 3} {
+		for l := 0; l <= n; l++ {
+			for u := l; u <= n; u++ {
+				if l == 0 && u == 0 {
+					continue
+				}
+				spec := gsb.NewSym(n, mv, l, u)
+				allOnes := []int{1, 1, 1}
+				allTwos := []int{2, 2, 2}
+				mixed := []int{1, 2, 1} // never a consensus output
+				if spec.Verify(allOnes) == nil && spec.Verify(allTwos) == nil {
+					if spec.Verify(mixed) != nil {
+						t.Fatalf("%v accepts both constants but rejects the mixed vector; GSB counting bounds cannot do that", spec)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package mem provides the shared-memory objects of the paper's model:
+// arrays of single-writer/multi-reader (1WnR) atomic registers, atomic
+// snapshots (both as a native one-step object, justified by Afek et al.
+// [1], and as a wait-free construction from 1WnR registers), multi-writer
+// registers, and the oracle objects used by enriched models ASM_{n,t}[T]
+// (test-and-set, fetch&increment, GSB task boxes).
+//
+// Every operation is linearized through sched.Proc.Exec, so an operation
+// is exactly one "step" of the paper's runs. Values stored in registers
+// must be treated as immutable by protocol code: registers copy the value
+// header only (Go assignment), so mutating a stored slice after writing it
+// would break atomicity.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// Array is an array of n single-writer/multi-reader atomic registers.
+// Entry i may be written only by the process with index i.
+type Array[T any] struct {
+	name    string
+	vals    []T
+	written []bool
+}
+
+// NewArray allocates an array of n 1WnR registers holding zero values.
+func NewArray[T any](name string, n int) *Array[T] {
+	return &Array[T]{name: name, vals: make([]T, n), written: make([]bool, n)}
+}
+
+// Len returns the number of registers.
+func (a *Array[T]) Len() int { return len(a.vals) }
+
+// Write stores v in the caller's register (one step).
+func (a *Array[T]) Write(p *sched.Proc, v T) {
+	p.Exec(a.name+".write", func() any {
+		a.vals[p.Index()] = v
+		a.written[p.Index()] = true
+		return nil
+	})
+}
+
+// Read returns the value of register j (one step) and whether it has ever
+// been written.
+func (a *Array[T]) Read(p *sched.Proc, j int) (T, bool) {
+	res := p.Exec(a.name+".read", func() any {
+		return readResult[T]{val: a.vals[j], ok: a.written[j]}
+	}).(readResult[T])
+	return res.val, res.ok
+}
+
+type readResult[T any] struct {
+	val T
+	ok  bool
+}
+
+// Collect reads all n registers one by one (n steps). Entry j of the
+// returned slices is register j's value and written-flag. A collect is
+// not atomic: values may come from different points in time.
+func (a *Array[T]) Collect(p *sched.Proc) ([]T, []bool) {
+	vals := make([]T, len(a.vals))
+	oks := make([]bool, len(a.vals))
+	for j := range a.vals {
+		vals[j], oks[j] = a.Read(p, j)
+	}
+	return vals, oks
+}
+
+// Snapshot returns an atomic snapshot of the array in one step. The paper
+// assumes snapshots are available without loss of generality because they
+// are wait-free implementable from 1WnR registers (Afek et al.); package
+// mem also provides that construction (SnapshotObject) and tests that the
+// two agree observationally.
+func (a *Array[T]) Snapshot(p *sched.Proc) ([]T, []bool) {
+	res := p.Exec(a.name+".snapshot", func() any {
+		vals := make([]T, len(a.vals))
+		oks := make([]bool, len(a.vals))
+		copy(vals, a.vals)
+		copy(oks, a.written)
+		return snapResult[T]{vals: vals, oks: oks}
+	}).(snapResult[T])
+	return res.vals, res.oks
+}
+
+type snapResult[T any] struct {
+	vals []T
+	oks  []bool
+}
+
+// Reg is a multi-writer/multi-reader atomic register (one step per
+// operation). The paper's base model uses only 1WnR registers; Reg models
+// the standard hardware register used by auxiliary constructions such as
+// splitters, and ConstructedMWMR shows how to build it from 1WnR.
+type Reg[T any] struct {
+	name    string
+	val     T
+	written bool
+}
+
+// NewReg allocates a multi-writer register holding the zero value.
+func NewReg[T any](name string) *Reg[T] { return &Reg[T]{name: name} }
+
+// Write stores v (one step).
+func (r *Reg[T]) Write(p *sched.Proc, v T) {
+	p.Exec(r.name+".write", func() any {
+		r.val = v
+		r.written = true
+		return nil
+	})
+}
+
+// Read returns the current value (one step).
+func (r *Reg[T]) Read(p *sched.Proc) (T, bool) {
+	res := p.Exec(r.name+".read", func() any {
+		return readResult[T]{val: r.val, ok: r.written}
+	}).(readResult[T])
+	return res.val, res.ok
+}
+
+// TAS is a one-shot test-and-set object: the first invoker wins. It is an
+// oracle object (not wait-free implementable from registers); the paper
+// uses such objects to define enriched models ASM_{n,t}[T].
+type TAS struct {
+	name string
+	set  bool
+}
+
+// NewTAS allocates a test-and-set object.
+func NewTAS(name string) *TAS { return &TAS{name: name} }
+
+// TestAndSet returns true iff the caller is the first invoker (one step).
+func (t *TAS) TestAndSet(p *sched.Proc) bool {
+	return p.Exec(t.name+".tas", func() any {
+		if t.set {
+			return false
+		}
+		t.set = true
+		return true
+	}).(bool)
+}
+
+// FetchInc is a fetch&increment counter oracle object.
+type FetchInc struct {
+	name string
+	next int
+}
+
+// NewFetchInc allocates a counter whose first FetchInc returns 0.
+func NewFetchInc(name string) *FetchInc { return &FetchInc{name: name} }
+
+// FetchInc atomically returns the current count and increments it.
+func (f *FetchInc) FetchInc(p *sched.Proc) int {
+	return p.Exec(f.name+".fetchinc", func() any {
+		v := f.next
+		f.next++
+		return v
+	}).(int)
+}
+
+// Validate panics unless 0 <= idx < n; used by objects that key state by
+// process index.
+func validateIndex(idx, n int, what string) {
+	if idx < 0 || idx >= n {
+		panic(fmt.Sprintf("mem: %s index %d outside [0..%d)", what, idx, n))
+	}
+}

@@ -1,0 +1,455 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gsb"
+	"repro/internal/sched"
+)
+
+func TestArrayReadWrite(t *testing.T) {
+	arr := NewArray[int]("A", 3)
+	r := sched.NewRunner(3, sched.DefaultIDs(3), sched.NewRoundRobin())
+	_, err := r.Run(func(p *sched.Proc) {
+		if _, ok := arr.Read(p, p.Index()); ok {
+			t.Error("register reported written before any write")
+		}
+		arr.Write(p, 10+p.Index())
+		v, ok := arr.Read(p, p.Index())
+		if !ok || v != 10+p.Index() {
+			t.Errorf("read own register = (%d,%v)", v, ok)
+		}
+		p.Decide(1)
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestArrayCollectSeesAllAfterBarrier(t *testing.T) {
+	arr := NewArray[int]("A", 4)
+	done := NewArray[bool]("done", 4)
+	r := sched.NewRunner(4, sched.DefaultIDs(4), sched.NewRandom(5))
+	_, err := r.Run(func(p *sched.Proc) {
+		arr.Write(p, p.ID()*100)
+		done.Write(p, true)
+		// Spin until all processes have written (every process writes, so
+		// under any fair schedule this terminates; the budget guards it).
+		for {
+			_, oks := done.Collect(p)
+			all := true
+			for _, ok := range oks {
+				if !ok {
+					all = false
+				}
+			}
+			if all {
+				break
+			}
+		}
+		vals, oks := arr.Collect(p)
+		for j, ok := range oks {
+			if !ok || vals[j] != (j+1)*100 {
+				t.Errorf("collect entry %d = (%d,%v)", j, vals[j], ok)
+			}
+		}
+		p.Decide(1)
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+// scanRecord is one observed snapshot: per-writer version numbers
+// (0 = unwritten).
+type scanRecord struct {
+	proc     int
+	versions []int
+}
+
+func comparable_(a, b []int) bool {
+	le, ge := true, true
+	for i := range a {
+		if a[i] > b[i] {
+			le = false
+		}
+		if a[i] < b[i] {
+			ge = false
+		}
+	}
+	return le || ge
+}
+
+type verVal struct {
+	k int // version, 1-based
+}
+
+// checkScansAtomic verifies the classic snapshot atomicity witness: all
+// observed version vectors are pairwise comparable (totally ordered), and
+// each process's own component is self-included (>= its latest update).
+func checkScansAtomic(t *testing.T, scans []scanRecord) {
+	t.Helper()
+	for i := 0; i < len(scans); i++ {
+		for j := i + 1; j < len(scans); j++ {
+			if !comparable_(scans[i].versions, scans[j].versions) {
+				t.Fatalf("incomparable snapshots %v and %v: not linearizable",
+					scans[i].versions, scans[j].versions)
+			}
+		}
+	}
+}
+
+func TestSnapshotObjectAtomicity(t *testing.T) {
+	const n, rounds = 4, 3
+	for seed := int64(0); seed < 30; seed++ {
+		snap := NewSnapshotObject[verVal]("S", n)
+		var mu []scanRecord
+		r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(seed),
+			sched.WithMaxSteps(1<<20))
+		_, err := r.Run(func(p *sched.Proc) {
+			for k := 1; k <= rounds; k++ {
+				snap.Update(p, verVal{k: k})
+				vals, oks := snap.Scan(p)
+				versions := make([]int, n)
+				for j := range vals {
+					if oks[j] {
+						versions[j] = vals[j].k
+					}
+				}
+				if versions[p.Index()] < k {
+					t.Errorf("seed %d: scan by %d missed own update %d: %v",
+						seed, p.Index(), k, versions)
+				}
+				p.Exec("record", func() any {
+					mu = append(mu, scanRecord{proc: p.Index(), versions: versions})
+					return nil
+				})
+			}
+			p.Decide(1)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: run failed: %v", seed, err)
+		}
+		checkScansAtomic(t, mu)
+	}
+}
+
+func TestSnapshotObjectWithCrashes(t *testing.T) {
+	const n = 4
+	for seed := int64(0); seed < 20; seed++ {
+		snap := NewSnapshotObject[verVal]("S", n)
+		var mu []scanRecord
+		policy := sched.NewRandomCrash(seed, 0.02, n-1)
+		r := sched.NewRunner(n, sched.DefaultIDs(n), policy, sched.WithMaxSteps(1<<20))
+		_, err := r.Run(func(p *sched.Proc) {
+			for k := 1; k <= 2; k++ {
+				snap.Update(p, verVal{k: k})
+				vals, oks := snap.Scan(p)
+				versions := make([]int, n)
+				for j := range vals {
+					if oks[j] {
+						versions[j] = vals[j].k
+					}
+				}
+				p.Exec("record", func() any {
+					mu = append(mu, scanRecord{proc: p.Index(), versions: versions})
+					return nil
+				})
+			}
+			p.Decide(1)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: run failed: %v", seed, err)
+		}
+		checkScansAtomic(t, mu)
+	}
+}
+
+func TestNativeSnapshotMatchesConstructionObservationally(t *testing.T) {
+	// The native one-step snapshot must satisfy the same atomicity witness
+	// as the Afek et al. construction.
+	const n, rounds = 4, 3
+	for seed := int64(0); seed < 30; seed++ {
+		arr := NewArray[verVal]("A", n)
+		var mu []scanRecord
+		r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(seed))
+		_, err := r.Run(func(p *sched.Proc) {
+			for k := 1; k <= rounds; k++ {
+				arr.Write(p, verVal{k: k})
+				vals, oks := arr.Snapshot(p)
+				versions := make([]int, n)
+				for j := range vals {
+					if oks[j] {
+						versions[j] = vals[j].k
+					}
+				}
+				if versions[p.Index()] < k {
+					t.Errorf("native snapshot missed own write")
+				}
+				p.Exec("record", func() any {
+					mu = append(mu, scanRecord{proc: p.Index(), versions: versions})
+					return nil
+				})
+			}
+			p.Decide(1)
+		})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		checkScansAtomic(t, mu)
+	}
+}
+
+func TestRegSequential(t *testing.T) {
+	reg := NewReg[string]("R")
+	r := sched.NewRunner(1, sched.DefaultIDs(1), sched.NewRoundRobin())
+	_, err := r.Run(func(p *sched.Proc) {
+		if _, ok := reg.Read(p); ok {
+			t.Error("unwritten register reads as written")
+		}
+		reg.Write(p, "x")
+		v, ok := reg.Read(p)
+		if !ok || v != "x" {
+			t.Errorf("read = (%q,%v)", v, ok)
+		}
+		p.Decide(1)
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestConstructedMWMRQuiescentAgreement(t *testing.T) {
+	// After all writes complete, every reader must return the same value.
+	const n = 4
+	for seed := int64(0); seed < 25; seed++ {
+		reg := NewConstructedMWMR[int]("M", n)
+		phase := NewArray[bool]("phase", n)
+		results := make([]int, n)
+		r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(seed),
+			sched.WithMaxSteps(1<<20))
+		_, err := r.Run(func(p *sched.Proc) {
+			reg.Write(p, 100+p.Index())
+			phase.Write(p, true)
+			for {
+				_, oks := phase.Collect(p)
+				all := true
+				for _, ok := range oks {
+					all = all && ok
+				}
+				if all {
+					break
+				}
+			}
+			v, ok := reg.Read(p)
+			if !ok {
+				t.Errorf("seed %d: read after writes reported unwritten", seed)
+			}
+			p.Exec("record", func() any { results[p.Index()] = v; return nil })
+			p.Decide(1)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: run failed: %v", seed, err)
+		}
+		for i := 1; i < n; i++ {
+			if results[i] != results[0] {
+				t.Fatalf("seed %d: quiescent reads disagree: %v", seed, results)
+			}
+		}
+	}
+}
+
+func TestConstructedMWMRReadsNeverGoBackwards(t *testing.T) {
+	// Per-reader monotonicity: successive reads never observe an older
+	// value from the same writer after a newer one (versions per writer
+	// increase).
+	const n = 3
+	for seed := int64(0); seed < 25; seed++ {
+		reg := NewConstructedMWMR[[2]int]("M", n) // value = (writer, version)
+		r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(seed),
+			sched.WithMaxSteps(1<<20))
+		_, err := r.Run(func(p *sched.Proc) {
+			lastSeen := map[int]int{}
+			for k := 1; k <= 3; k++ {
+				reg.Write(p, [2]int{p.Index(), k})
+				v, ok := reg.Read(p)
+				if ok {
+					if v[1] < lastSeen[v[0]] {
+						t.Errorf("seed %d: reader %d saw writer %d regress to version %d after %d",
+							seed, p.Index(), v[0], v[1], lastSeen[v[0]])
+					}
+					lastSeen[v[0]] = v[1]
+				}
+				if me := lastSeen[p.Index()]; ok && v[0] == p.Index() && v[1] < k {
+					_ = me // own writes must not regress either (covered above)
+				}
+			}
+			p.Decide(1)
+		})
+		if err != nil {
+			t.Fatalf("seed %d: run failed: %v", seed, err)
+		}
+	}
+}
+
+func TestTASSingleWinner(t *testing.T) {
+	const n = 5
+	for seed := int64(0); seed < 20; seed++ {
+		tas := NewTAS("T")
+		winners := 0
+		r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(seed))
+		_, err := r.Run(func(p *sched.Proc) {
+			if tas.TestAndSet(p) {
+				p.Exec("count", func() any { winners++; return nil })
+			}
+			p.Decide(1)
+		})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		if winners != 1 {
+			t.Fatalf("seed %d: %d winners, want exactly 1", seed, winners)
+		}
+	}
+}
+
+func TestFetchIncDistinct(t *testing.T) {
+	const n = 6
+	fi := NewFetchInc("C")
+	got := make([]int, n)
+	r := sched.NewRunner(n, sched.DefaultIDs(n), sched.NewRandom(3))
+	_, err := r.Run(func(p *sched.Proc) {
+		v := fi.FetchInc(p)
+		p.Exec("record", func() any { got[p.Index()] = v; return nil })
+		p.Decide(v + 1)
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("fetch&inc results not a permutation of 0..%d: %v", n-1, got)
+		}
+		seen[v] = true
+	}
+}
+
+func TestTaskBoxProducesLegalVectors(t *testing.T) {
+	specs := []gsb.Spec{
+		gsb.PerfectRenaming(5),
+		gsb.WSB(5),
+		gsb.KSlot(5, 3),
+		gsb.Election(5),
+		gsb.NewSym(5, 3, 1, 3),
+	}
+	for _, spec := range specs {
+		for seed := int64(0); seed < 10; seed++ {
+			box := NewTaskBox("box", spec, seed)
+			r := sched.NewRunner(spec.N(), sched.DefaultIDs(spec.N()), sched.NewRandom(seed))
+			res, err := r.Run(func(p *sched.Proc) {
+				p.Decide(box.Invoke(p))
+			})
+			if err != nil {
+				t.Fatalf("%v seed %d: run failed: %v", spec, seed, err)
+			}
+			out, err := res.DecidedVector()
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", spec, seed, err)
+			}
+			if err := spec.Verify(out); err != nil {
+				t.Fatalf("%v seed %d: task box output invalid: %v", spec, seed, err)
+			}
+		}
+	}
+}
+
+func TestTaskBoxPrefixCompletableUnderCrashes(t *testing.T) {
+	// When some processes crash before invoking, the handed-out prefix must
+	// still be completable to a legal vector (it is, by construction, a
+	// prefix of one).
+	spec := gsb.KSlot(5, 4)
+	for seed := int64(0); seed < 10; seed++ {
+		box := NewTaskBox("box", spec, seed)
+		policy := &sched.CrashAt{Inner: sched.NewRandom(seed), Proc: 2, StepsBeforeCrash: 0}
+		r := sched.NewRunner(5, sched.DefaultIDs(5), policy)
+		res, err := r.Run(func(p *sched.Proc) {
+			p.Decide(box.Invoke(p))
+		})
+		if err != nil {
+			t.Fatalf("seed %d: run failed: %v", seed, err)
+		}
+		// Count decided values; each must not exceed its upper bound.
+		counts := make([]int, spec.M())
+		for i, d := range res.Decided {
+			if d {
+				counts[res.Outputs[i]-1]++
+			}
+		}
+		remaining := 0
+		for i := range res.Decided {
+			if !res.Decided[i] {
+				remaining++
+			}
+		}
+		need := 0
+		for v := 0; v < spec.M(); v++ {
+			if counts[v] > spec.Upper(v+1) {
+				t.Fatalf("seed %d: value %d over-assigned", seed, v+1)
+			}
+			if d := spec.Lower(v+1) - counts[v]; d > 0 {
+				need += d
+			}
+		}
+		if need > remaining {
+			t.Fatalf("seed %d: prefix not completable: need %d, remaining %d", seed, need, remaining)
+		}
+	}
+}
+
+func TestTaskBoxDoubleInvokePanics(t *testing.T) {
+	box := NewTaskBox("box", gsb.WSB(2), 1)
+	r := sched.NewRunner(2, sched.DefaultIDs(2), sched.NewRoundRobin())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double invoke")
+		}
+	}()
+	_, _ = r.Run(func(p *sched.Proc) {
+		box.Invoke(p)
+		box.Invoke(p)
+		p.Decide(1)
+	})
+}
+
+func TestTaskBoxInfeasiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for infeasible spec")
+		}
+	}()
+	NewTaskBox("bad", gsb.NewSym(5, 2, 0, 1), 1) // 2 < 5: infeasible
+}
+
+func TestTaskBoxHelpers(t *testing.T) {
+	if got := PerfectRenamingBox("p", 4, 1).Spec(); !got.SameParams(gsb.PerfectRenaming(4)) {
+		t.Error("PerfectRenamingBox wrong spec")
+	}
+	if got := SlotBox("s", 5, 3, 1).Spec(); !got.SameParams(gsb.KSlot(5, 3)) {
+		t.Error("SlotBox wrong spec")
+	}
+	if got := WSBBox("w", 5, 1).Spec(); !got.SameParams(gsb.WSB(5)) {
+		t.Error("WSBBox wrong spec")
+	}
+}
+
+func TestValidateIndex(t *testing.T) {
+	defer func() {
+		rec := recover()
+		if rec == nil || !strings.Contains(rec.(string), "outside") {
+			t.Fatalf("expected index panic, got %v", rec)
+		}
+	}()
+	validateIndex(5, 3, "test")
+}

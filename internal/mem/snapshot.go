@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"repro/internal/sched"
+)
+
+// SnapshotObject is the wait-free atomic snapshot construction of Afek,
+// Attiya, Dolev, Gafni, Merritt and Shavit (JACM 1993) built from 1WnR
+// registers only: every Update and Scan consists of single-register read
+// and write steps. It exists in this repository as a substrate proof that
+// the native one-step Array.Snapshot is implementable in the paper's base
+// model; the two are tested to be observationally equivalent.
+type SnapshotObject[T any] struct {
+	regs *Array[snapCell[T]]
+}
+
+type snapCell[T any] struct {
+	val  T
+	seq  int // per-writer sequence number; 0 means never written
+	help []T // embedded scan taken during the Update
+	ok   []bool
+}
+
+// NewSnapshotObject allocates a snapshot object over n writers.
+func NewSnapshotObject[T any](name string, n int) *SnapshotObject[T] {
+	return &SnapshotObject[T]{regs: NewArray[snapCell[T]](name, n)}
+}
+
+// Len returns the number of components.
+func (s *SnapshotObject[T]) Len() int { return s.regs.Len() }
+
+// Update sets the caller's component to v. Per the construction, the
+// writer first performs an embedded Scan and publishes it alongside the
+// value, enabling helping.
+func (s *SnapshotObject[T]) Update(p *sched.Proc, v T) {
+	help, ok := s.Scan(p)
+	cur, _ := s.regs.Read(p, p.Index())
+	s.regs.Write(p, snapCell[T]{val: v, seq: cur.seq + 1, help: help, ok: ok})
+}
+
+// Scan returns an atomic snapshot of all components: either a direct
+// double collect that observed no movement, or a snapshot borrowed from a
+// writer that moved twice during the scan (whose embedded scan is then
+// entirely contained in this scan's interval).
+func (s *SnapshotObject[T]) Scan(p *sched.Proc) ([]T, []bool) {
+	n := s.regs.Len()
+	moved := make([]int, n)
+	prev, _ := s.regs.Collect(p)
+	for {
+		cur, _ := s.regs.Collect(p)
+		clean := true
+		for j := 0; j < n; j++ {
+			if prev[j].seq != cur[j].seq {
+				clean = false
+				moved[j]++
+				if moved[j] >= 2 {
+					// j completed an Update that started after our Scan
+					// began; its embedded scan is linearizable here.
+					help := make([]T, n)
+					ok := make([]bool, n)
+					copy(help, cur[j].help)
+					copy(ok, cur[j].ok)
+					return help, ok
+				}
+			}
+		}
+		if clean {
+			vals := make([]T, n)
+			ok := make([]bool, n)
+			for j := 0; j < n; j++ {
+				vals[j] = cur[j].val
+				ok[j] = cur[j].seq > 0
+			}
+			return vals, ok
+		}
+		prev = cur
+	}
+}
+
+// ConstructedMWMR is a multi-writer/multi-reader register built from 1WnR
+// registers with (timestamp, writer) ordering: a Write collects all slots,
+// picks a timestamp larger than any observed, and publishes into the
+// writer's own slot; a Read collects and returns the value with the
+// largest (timestamp, writer) pair. It demonstrates that the Reg objects
+// used by auxiliary protocols do not extend the paper's base model.
+type ConstructedMWMR[T any] struct {
+	slots *Array[mwmrSlot[T]]
+}
+
+type mwmrSlot[T any] struct {
+	ts  int
+	val T
+}
+
+// NewConstructedMWMR allocates the register for n potential writers.
+func NewConstructedMWMR[T any](name string, n int) *ConstructedMWMR[T] {
+	return &ConstructedMWMR[T]{slots: NewArray[mwmrSlot[T]](name, n)}
+}
+
+// Write publishes v with a timestamp exceeding every observed one.
+func (r *ConstructedMWMR[T]) Write(p *sched.Proc, v T) {
+	vals, _ := r.slots.Collect(p)
+	maxTS := 0
+	for _, s := range vals {
+		if s.ts > maxTS {
+			maxTS = s.ts
+		}
+	}
+	r.slots.Write(p, mwmrSlot[T]{ts: maxTS + 1, val: v})
+}
+
+// Read returns the value with the largest (timestamp, writer index) and
+// whether any write has completed or is in progress.
+func (r *ConstructedMWMR[T]) Read(p *sched.Proc) (T, bool) {
+	vals, oks := r.slots.Collect(p)
+	best := -1
+	for j := range vals {
+		if !oks[j] || vals[j].ts == 0 {
+			continue
+		}
+		if best == -1 || vals[j].ts > vals[best].ts || (vals[j].ts == vals[best].ts && j > best) {
+			best = j
+		}
+	}
+	if best == -1 {
+		var zero T
+		return zero, false
+	}
+	return vals[best].val, true
+}

@@ -1,0 +1,88 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gsb"
+	"repro/internal/sched"
+)
+
+// TaskBox is an oracle object solving a GSB task T, used to realize the
+// enriched model ASM_{n,t}[T] of Section 5. Its behavior is the most
+// adversarial one allowed by the specification: before the run it draws a
+// legal output multiset (uniformly over the task's counting vectors, with
+// a seeded generator) and hands its elements out in invocation order.
+// Because a GSB task maps every input vector to the same output-vector
+// set, and any prefix of a legal assignment extends to a legal vector,
+// this is a correct implementation of "any object solving T".
+type TaskBox struct {
+	name       string
+	spec       gsb.Spec
+	assignment []int
+	next       int
+	invoked    []bool
+}
+
+// NewTaskBox allocates an oracle for spec. The seed selects the legal
+// output multiset and its hand-out order.
+func NewTaskBox(name string, spec gsb.Spec, seed int64) *TaskBox {
+	if !spec.Feasible() {
+		panic(fmt.Sprintf("mem: task box for infeasible spec %v", spec))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counting := spec.CountingVectors()
+	cv := counting[rng.Intn(len(counting))]
+	assignment := make([]int, 0, spec.N())
+	for v, c := range cv {
+		for k := 0; k < c; k++ {
+			assignment = append(assignment, v+1)
+		}
+	}
+	rng.Shuffle(len(assignment), func(i, j int) {
+		assignment[i], assignment[j] = assignment[j], assignment[i]
+	})
+	return &TaskBox{
+		name:       name,
+		spec:       spec,
+		assignment: assignment,
+		invoked:    make([]bool, spec.N()),
+	}
+}
+
+// Spec returns the task specification the box solves.
+func (b *TaskBox) Spec() gsb.Spec { return b.spec }
+
+// Invoke returns the caller's output for the boxed task (one step). Each
+// process may invoke at most once; a second invocation panics, as the
+// boxed tasks are one-shot.
+func (b *TaskBox) Invoke(p *sched.Proc) int {
+	return p.Exec(b.name+".invoke", func() any {
+		validateIndex(p.Index(), len(b.invoked), "task box")
+		if b.invoked[p.Index()] {
+			panic(fmt.Sprintf("mem: process %d invoked task box %q twice", p.Index(), b.name))
+		}
+		b.invoked[p.Index()] = true
+		v := b.assignment[b.next]
+		b.next++
+		return v
+	}).(int)
+}
+
+// PerfectRenamingBox returns an oracle for the <n,n,1,1>-GSB task; the
+// universality construction of Theorem 8 is built on top of it.
+func PerfectRenamingBox(name string, n int, seed int64) *TaskBox {
+	return NewTaskBox(name, gsb.PerfectRenaming(n), seed)
+}
+
+// SlotBox returns an oracle for the <n,k,1,n>-GSB k-slot task, the KS
+// object of Section 6.
+func SlotBox(name string, n, k int, seed int64) *TaskBox {
+	return NewTaskBox(name, gsb.KSlot(n, k), seed)
+}
+
+// WSBBox returns an oracle for weak symmetry breaking, used by the
+// WSB -> (2n-2)-renaming reduction.
+func WSBBox(name string, n int, seed int64) *TaskBox {
+	return NewTaskBox(name, gsb.WSB(n), seed)
+}

@@ -1,0 +1,209 @@
+// Package msgnet provides a synchronous message-passing substrate: n
+// processes on the vertices of an undirected graph proceed in lockstep
+// rounds, each round sending one message per incident edge and receiving
+// the messages of its neighbors. Goroutines map one-to-one onto processes
+// and a barrier separates rounds.
+//
+// The paper situates GSB tasks against the classic distributed
+// symmetry-breaking literature (leader election, renaming); this substrate
+// hosts the baseline message-passing symmetry-breaking algorithms of
+// package luby (maximal independent set, coloring) that the benchmarks
+// compare against.
+package msgnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Graph is an undirected graph on vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj [][]int
+}
+
+// NewGraph creates an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	if n < 1 {
+		panic("msgnet: need n >= 1")
+	}
+	return &Graph{N: n, adj: make([][]int, n)}
+}
+
+// AddEdge inserts the undirected edge {a, b}. Self-loops and duplicate
+// edges panic.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		panic(fmt.Sprintf("msgnet: self-loop at %d", a))
+	}
+	if a < 0 || a >= g.N || b < 0 || b >= g.N {
+		panic(fmt.Sprintf("msgnet: edge (%d,%d) outside [0..%d)", a, b, g.N))
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			panic(fmt.Sprintf("msgnet: duplicate edge (%d,%d)", a, b))
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := append([]int(nil), g.adj[v]...)
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns the maximum degree of the graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Ring returns the n-cycle (or a single edge for n=2, a vertex for n=1).
+func Ring(n int) *Graph {
+	g := NewGraph(n)
+	if n == 2 {
+		g.AddEdge(0, 1)
+		return g
+	}
+	for v := 0; n >= 3 && v < n; v++ {
+		g.AddEdge(v, (v+1)%n)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := NewGraph(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			g.AddEdge(a, b)
+		}
+	}
+	return g
+}
+
+// GNP returns an Erdos-Renyi random graph: each edge present with
+// probability p, decided by the caller-provided coin (seeded upstream).
+func GNP(n int, p float64, coin func() float64) *Graph {
+	g := NewGraph(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if coin() < p {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+// Node is the per-process handle available during a round.
+type Node struct {
+	ID        int   // vertex id (also the process identity here)
+	Neighbors []int // sorted neighbor ids
+	Round     int   // current round number, starting at 0
+}
+
+// Proto is a synchronous-rounds protocol: at each round every active
+// process computes the messages to send (one per neighbor, keyed by
+// neighbor id) from its state and the messages received in the previous
+// round (nil in round 0); it returns done=true when it has halted.
+// Messages must be treated as immutable after sending.
+type Proto interface {
+	// Step runs one round. recv maps neighbor id to its message from the
+	// previous round (only neighbors that sent are present). It returns
+	// the messages to send this round and whether the process halts after
+	// sending them.
+	Step(node Node, recv map[int]any) (send map[int]any, done bool)
+}
+
+// Result reports a protocol execution.
+type Result struct {
+	Rounds int // rounds executed until all processes halted
+}
+
+// Run executes the protocol on the graph until every process has halted
+// or maxRounds is reached (returning an error in the latter case).
+// Each process runs in its own goroutine; rounds are separated by a
+// barrier, and message delivery is synchronous.
+func Run(g *Graph, protos []Proto, maxRounds int) (*Result, error) {
+	if len(protos) != g.N {
+		return nil, fmt.Errorf("msgnet: %d protocols for %d vertices", len(protos), g.N)
+	}
+	type mailbox struct {
+		mu   sync.Mutex
+		msgs map[int]any
+	}
+	curr := make([]mailbox, g.N) // messages delivered this round
+	next := make([]mailbox, g.N) // messages being sent for next round
+	for v := range curr {
+		curr[v].msgs = map[int]any{}
+		next[v].msgs = map[int]any{}
+	}
+
+	active := make([]bool, g.N)
+	for v := range active {
+		active[v] = true
+	}
+
+	round := 0
+	for ; round < maxRounds; round++ {
+		anyActive := false
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		halted := make([]bool, g.N)
+		for v := 0; v < g.N; v++ {
+			if !active[v] {
+				continue
+			}
+			anyActive = true
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				node := Node{ID: v, Neighbors: g.Neighbors(v), Round: round}
+				send, done := protos[v].Step(node, curr[v].msgs)
+				for to, msg := range send {
+					next[to].mu.Lock()
+					next[to].msgs[v] = msg
+					next[to].mu.Unlock()
+				}
+				if done {
+					mu.Lock()
+					halted[v] = true
+					mu.Unlock()
+				}
+			}(v)
+		}
+		if !anyActive {
+			break
+		}
+		wg.Wait()
+		for v := range halted {
+			if halted[v] {
+				active[v] = false
+			}
+		}
+		// Rotate mailboxes.
+		for v := range curr {
+			curr[v].msgs = next[v].msgs
+			next[v].msgs = map[int]any{}
+		}
+	}
+	for v := range active {
+		if active[v] {
+			return nil, fmt.Errorf("msgnet: process %d still active after %d rounds", v, maxRounds)
+		}
+	}
+	return &Result{Rounds: round}, nil
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is a "model checker lite": it enumerates EVERY failure-free
+// schedule of a deterministic protocol (the tree of adversary choices)
+// and checks a property on each complete run. Protocols are deterministic
+// given the schedule, so stateless re-execution with a scripted prefix
+// explores the full tree. Crash choices are deliberately excluded — the
+// crash-free schedule space is already exponential, and crash coverage is
+// handled by randomized injection elsewhere.
+
+// ErrExplorationBudget is returned when the schedule tree exceeds the
+// caller's run budget.
+var ErrExplorationBudget = errors.New("sched: exploration budget exhausted")
+
+// explorePolicy replays a fixed prefix of choices, then always picks the
+// smallest pending process, recording every decision point's pending set.
+type explorePolicy struct {
+	prefix  []int
+	choices []int   // process chosen at each decision
+	pending [][]int // pending set observed at each decision
+}
+
+// Next implements Policy.
+func (e *explorePolicy) Next(pending []int, _ int) Decision {
+	step := len(e.choices)
+	var pick int
+	if step < len(e.prefix) {
+		pick = e.prefix[step]
+		found := false
+		for _, p := range pending {
+			if p == pick {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("sched: exploration prefix chose %d but pending is %v (non-deterministic protocol?)", pick, pending))
+		}
+	} else {
+		pick = pending[0]
+	}
+	e.choices = append(e.choices, pick)
+	e.pending = append(e.pending, append([]int(nil), pending...))
+	return Decision{Proc: pick}
+}
+
+// ExploreAll runs the protocol under every failure-free schedule and
+// invokes check on each completed run. build is called once per run and
+// must return a fresh protocol instance (fresh shared memory). It returns
+// the number of distinct schedules explored. maxRuns bounds the
+// exploration (ErrExplorationBudget beyond it); maxSteps bounds each
+// individual run.
+//
+// The protocol must be deterministic given the schedule (true for every
+// protocol in this repository; randomized protocols would make prefix
+// replay diverge, which is detected and reported as a panic).
+func ExploreAll(n int, ids []int, maxRuns, maxSteps int, build func() Body, check func(*Result) error) (int, error) {
+	stack := [][]int{{}}
+	runs := 0
+	for len(stack) > 0 {
+		if runs >= maxRuns {
+			return runs, fmt.Errorf("%w (after %d runs)", ErrExplorationBudget, runs)
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		policy := &explorePolicy{prefix: prefix}
+		runner := NewRunner(n, ids, policy, WithMaxSteps(maxSteps))
+		res, err := runner.Run(build())
+		if err != nil {
+			return runs, fmt.Errorf("sched: exploration run with prefix %v: %w", prefix, err)
+		}
+		runs++
+		if err := check(res); err != nil {
+			return runs, fmt.Errorf("sched: schedule %v violates property: %w", policy.choices, err)
+		}
+
+		// Branch on every decision point past the prefix where another
+		// process could have been chosen instead.
+		for i := len(prefix); i < len(policy.choices); i++ {
+			chosen := policy.choices[i]
+			for _, alt := range policy.pending[i] {
+				if alt <= chosen {
+					continue // chosen is always the smallest pending
+				}
+				branch := make([]int, i+1)
+				copy(branch, policy.choices[:i])
+				branch[i] = alt
+				stack = append(stack, branch)
+			}
+		}
+	}
+	return runs, nil
+}

@@ -1,0 +1,318 @@
+// Package sched simulates the asynchronous wait-free shared-memory model
+// ASM_{n,t} of the paper: n processes that communicate through atomic
+// operations, scheduled by an adversary, of which up to n-1 may crash.
+//
+// Processes run as goroutines. Every shared-memory operation is funneled
+// through the scheduler, which grants one operation at a time according to
+// a pluggable Policy (round-robin, seeded random, scripted adversary, with
+// optional crash injection). This yields a totally ordered sequence of
+// steps — exactly the runs/schedules formalism of Section 2 of the paper —
+// and makes executions reproducible: the same policy, identities and body
+// always produce the same run.
+//
+// A crash is simulated by never granting the process another step; its
+// goroutine is unwound via a recovered panic so that no goroutine leaks.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Proc is the handle through which a process body interacts with the run.
+// Its index is an addressing mechanism only (Section 2.1): protocol code
+// must base decisions on ID and observed values, never on Index. The
+// verifier in verify.go checks this discipline by replaying permuted runs.
+type Proc struct {
+	r     *Runner
+	index int // 0-based slot in the shared arrays
+	id    int // identity drawn from [1..N], the only input
+}
+
+// Index returns the process's register index (0-based, addressing only).
+func (p *Proc) Index() int { return p.index }
+
+// ID returns the process's identity (its input).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the number of processes in the system.
+func (p *Proc) N() int { return p.r.n }
+
+// errCrashed unwinds a crashed process's goroutine. It is recovered by the
+// runner's wrapper; any other panic value is re-raised.
+var errCrashed = errors.New("sched: process crashed")
+
+// Exec performs one atomic step: op runs with exclusive access to all
+// shared state and is assigned the next position in the linearization
+// order. The name labels the step in the recorded schedule.
+//
+// If the scheduler crashes the process instead of granting the step, Exec
+// never returns (the goroutine unwinds).
+func (p *Proc) Exec(name string, op func() any) any {
+	reply := make(chan stepReply, 1)
+	p.r.events <- event{kind: evRequest, proc: p.index, name: name, op: op, reply: reply}
+	rep := <-reply
+	if rep.crashed {
+		panic(errCrashed)
+	}
+	return rep.val
+}
+
+// Decide records v as the process's output (the write to the write-once
+// output_i register of the paper) as one atomic step.
+func (p *Proc) Decide(v int) {
+	p.Exec("decide", func() any {
+		if p.r.result.Decided[p.index] {
+			panic(fmt.Sprintf("sched: process %d decided twice", p.index))
+		}
+		p.r.result.Decided[p.index] = true
+		p.r.result.Outputs[p.index] = v
+		return nil
+	})
+}
+
+// Body is a process's local algorithm.
+type Body func(p *Proc)
+
+// Step is one entry of a recorded schedule.
+type Step struct {
+	Proc  int    // process index
+	Op    string // operation label ("write", "snapshot", "decide", ...)
+	Crash bool   // true if this entry records a crash, not an operation
+}
+
+// Result describes a completed run.
+type Result struct {
+	Outputs  []int  // decided values (1-based); 0 when undecided
+	Decided  []bool // per-process: did it write its output register?
+	Crashed  []bool // per-process: was it crashed by the adversary?
+	Schedule []Step // the linearized schedule, including crash events
+	Steps    int    // number of operation steps granted (crashes excluded)
+}
+
+// DecidedVector returns the output vector when every process decided, or
+// an error naming the first process that did not.
+func (r *Result) DecidedVector() ([]int, error) {
+	for i, d := range r.Decided {
+		if !d {
+			return nil, fmt.Errorf("sched: process %d did not decide (crashed=%v)", i, r.Crashed[i])
+		}
+	}
+	return append([]int(nil), r.Outputs...), nil
+}
+
+// Participating reports whether process i took at least one step.
+func (r *Result) Participating(i int) bool {
+	for _, s := range r.Schedule {
+		if s.Proc == i && !s.Crash {
+			return true
+		}
+	}
+	return false
+}
+
+// Runner executes one run of a distributed algorithm.
+type Runner struct {
+	n        int
+	ids      []int
+	policy   Policy
+	maxSteps int
+
+	events chan event
+	result *Result
+}
+
+type evKind int
+
+const (
+	evRequest evKind = iota
+	evDone
+)
+
+type event struct {
+	kind  evKind
+	proc  int
+	name  string
+	op    func() any
+	reply chan stepReply
+}
+
+type stepReply struct {
+	val     any
+	crashed bool
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithMaxSteps overrides the safety budget on total steps (default
+// 4096*n). Exceeding the budget aborts the run with an error; this is how
+// non-wait-free loops and livelocks surface in tests.
+func WithMaxSteps(max int) Option {
+	return func(r *Runner) { r.maxSteps = max }
+}
+
+// NewRunner creates a runner for n processes with the given distinct
+// identities (ids[i] is the input of the process at index i) and policy.
+func NewRunner(n int, ids []int, policy Policy, opts ...Option) *Runner {
+	if n < 1 {
+		panic("sched: need n >= 1")
+	}
+	if len(ids) != n {
+		panic(fmt.Sprintf("sched: got %d ids for %d processes", len(ids), n))
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			panic(fmt.Sprintf("sched: duplicate identity %d", id))
+		}
+		seen[id] = true
+	}
+	r := &Runner{
+		n:        n,
+		ids:      append([]int(nil), ids...),
+		policy:   policy,
+		maxSteps: 4096 * n,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// DefaultIDs returns the identity assignment {1, 2, ..., n}.
+func DefaultIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	return ids
+}
+
+// ErrStepBudget is returned when a run exceeds its step budget.
+var ErrStepBudget = errors.New("sched: step budget exhausted (protocol not wait-free under this schedule?)")
+
+type procState int
+
+const (
+	stateRunning procState = iota
+	stateCrashed
+	stateFinished
+)
+
+// Run executes body on all n processes until every process has finished
+// or crashed, and returns the recorded result.
+func (r *Runner) Run(body Body) (*Result, error) {
+	r.events = make(chan event, r.n)
+	r.result = &Result{
+		Outputs: make([]int, r.n),
+		Decided: make([]bool, r.n),
+		Crashed: make([]bool, r.n),
+	}
+
+	states := make([]procState, r.n)
+	pending := make(map[int]event, r.n)
+	exited := 0
+
+	// Panics raised by protocol code run in process goroutines, where the
+	// caller's recover cannot see them; capture them and re-raise from Run.
+	panics := make([]any, r.n)
+	for i := 0; i < r.n; i++ {
+		p := &Proc{r: r, index: i, id: r.ids[i]}
+		go func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					if err, ok := rec.(error); !ok || !errors.Is(err, errCrashed) {
+						panics[p.index] = rec // protocol bug: re-raise from Run
+					}
+				}
+				r.events <- event{kind: evDone, proc: p.index}
+			}()
+			body(p)
+		}()
+	}
+
+	running := r.n
+	crashedCount := 0
+	var budgetErr error
+	for exited < r.n {
+		// Wait until every running process has a pending request, so the
+		// policy choice (and hence the run) is deterministic. When no
+		// process is running anymore, keep draining exit notifications.
+		for len(pending) < running || (running == 0 && exited < r.n) {
+			ev := <-r.events
+			switch ev.kind {
+			case evRequest:
+				if states[ev.proc] == stateCrashed {
+					// Request raced with a crash decision: deny it.
+					ev.reply <- stepReply{crashed: true}
+					continue
+				}
+				pending[ev.proc] = ev
+			case evDone:
+				if states[ev.proc] == stateRunning {
+					states[ev.proc] = stateFinished
+					running--
+				}
+				exited++
+			}
+		}
+		if len(pending) == 0 {
+			continue // all processes exited; outer condition terminates
+		}
+
+		pendingIdx := make([]int, 0, len(pending))
+		for i := range pending {
+			pendingIdx = append(pendingIdx, i)
+		}
+		sort.Ints(pendingIdx)
+
+		var dec Decision
+		if budgetErr != nil || r.result.Steps >= r.maxSteps {
+			// Budget exhausted: crash everyone still pending to unwind
+			// their goroutines, then report the error.
+			if budgetErr == nil {
+				budgetErr = ErrStepBudget
+			}
+			dec = Decision{Proc: pendingIdx[0], Crash: true}
+		} else {
+			dec = r.policy.Next(pendingIdx, r.result.Steps)
+			if _, ok := pending[dec.Proc]; !ok {
+				return nil, fmt.Errorf("sched: policy chose process %d which has no pending step", dec.Proc)
+			}
+		}
+
+		ev := pending[dec.Proc]
+		delete(pending, dec.Proc)
+		if dec.Crash {
+			if crashedCount+1 == r.n && budgetErr == nil {
+				// Record the violation but keep unwinding so no goroutine
+				// leaks; the error is reported after the run drains.
+				budgetErr = fmt.Errorf("sched: policy crashed all %d processes; the wait-free model allows at most n-1 crashes", r.n)
+			}
+			crashedCount++
+			states[dec.Proc] = stateCrashed
+			r.result.Crashed[dec.Proc] = true
+			running--
+			r.result.Schedule = append(r.result.Schedule, Step{Proc: dec.Proc, Crash: true})
+			ev.reply <- stepReply{crashed: true}
+			continue
+		}
+
+		val := ev.op() // exclusive: the linearization point of the step
+		r.result.Steps++
+		r.result.Schedule = append(r.result.Schedule, Step{Proc: dec.Proc, Op: ev.name})
+		ev.reply <- stepReply{val: val}
+	}
+
+	for i, rec := range panics {
+		if rec != nil {
+			panic(fmt.Sprintf("sched: process %d panicked: %v", i, rec))
+		}
+	}
+	if budgetErr != nil {
+		return r.result, budgetErr
+	}
+	return r.result, nil
+}

@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders a recorded schedule as an ASCII chart: one row per
+// process, one column per step, labels showing operation kinds. It gives
+// the runs/schedules formalism of Section 2 a human-readable form and is
+// used by cmd/gsbrun's -trace flag.
+//
+//	p0 | W...S...D     |
+//	p1 | ..W..S....D   |
+//	p2 | ....x         |   (x = crashed)
+func Timeline(n int, schedule []Step) string {
+	if len(schedule) == 0 {
+		return "(empty schedule)\n"
+	}
+	rows := make([][]byte, n)
+	for i := range rows {
+		rows[i] = make([]byte, len(schedule))
+		for k := range rows[i] {
+			rows[i][k] = '.'
+		}
+	}
+	for k, s := range schedule {
+		if s.Proc < 0 || s.Proc >= n {
+			continue
+		}
+		rows[s.Proc][k] = opGlyph(s)
+	}
+	var b strings.Builder
+	for i, row := range rows {
+		fmt.Fprintf(&b, "p%-2d | %s |\n", i, string(row))
+	}
+	b.WriteString(legend)
+	return b.String()
+}
+
+const legend = "      W=write R=read S=snapshot I=invoke D=decide o=other x=crash\n"
+
+func opGlyph(s Step) byte {
+	if s.Crash {
+		return 'x'
+	}
+	op := s.Op
+	switch {
+	case strings.HasSuffix(op, ".write"):
+		return 'W'
+	case strings.HasSuffix(op, ".read"):
+		return 'R'
+	case strings.HasSuffix(op, ".snapshot"):
+		return 'S'
+	case strings.HasSuffix(op, ".invoke"), strings.HasSuffix(op, ".tas"),
+		strings.HasSuffix(op, ".fetchinc"), strings.HasSuffix(op, ".propose"),
+		strings.HasSuffix(op, ".ktas"), strings.HasSuffix(op, ".kleader"):
+		return 'I'
+	case op == "decide":
+		return 'D'
+	default:
+		return 'o'
+	}
+}
+
+// Summary produces per-process step counts from a schedule.
+func Summary(n int, schedule []Step) string {
+	counts := make([]int, n)
+	crashed := make([]bool, n)
+	for _, s := range schedule {
+		if s.Proc < 0 || s.Proc >= n {
+			continue
+		}
+		if s.Crash {
+			crashed[s.Proc] = true
+			continue
+		}
+		counts[s.Proc]++
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		status := ""
+		if crashed[i] {
+			status = " (crashed)"
+		}
+		fmt.Fprintf(&b, "p%d: %d steps%s\n", i, counts[i], status)
+	}
+	return b.String()
+}

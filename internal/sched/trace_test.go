@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeline(t *testing.T) {
+	schedule := []Step{
+		{Proc: 0, Op: "A.write"},
+		{Proc: 1, Op: "A.read"},
+		{Proc: 0, Op: "A.snapshot"},
+		{Proc: 2, Crash: true},
+		{Proc: 1, Op: "KS.invoke"},
+		{Proc: 0, Op: "decide"},
+		{Proc: 1, Op: "something.else"},
+	}
+	got := Timeline(3, schedule)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 { // 3 rows + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "W.S..D.") {
+		t.Errorf("p0 row wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ".R..I.o") {
+		t.Errorf("p1 row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "...x...") {
+		t.Errorf("p2 row wrong: %q", lines[2])
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	if got := Timeline(2, nil); !strings.Contains(got, "empty") {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	schedule := []Step{
+		{Proc: 0, Op: "A.write"},
+		{Proc: 0, Op: "decide"},
+		{Proc: 1, Crash: true},
+	}
+	got := Summary(2, schedule)
+	if !strings.Contains(got, "p0: 2 steps") {
+		t.Errorf("summary missing p0 count: %q", got)
+	}
+	if !strings.Contains(got, "p1: 0 steps (crashed)") {
+		t.Errorf("summary missing crash: %q", got)
+	}
+}
+
+func TestTimelineFromRealRun(t *testing.T) {
+	counter := 0
+	r := NewRunner(3, DefaultIDs(3), NewRoundRobin())
+	res, err := r.Run(counterBody(&counter, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Timeline(3, res.Schedule)
+	if strings.Count(got, "\n") != 4 {
+		t.Errorf("unexpected timeline shape:\n%s", got)
+	}
+	for _, row := range []string{"p0 ", "p1 ", "p2 "} {
+		if !strings.Contains(got, row) {
+			t.Errorf("missing row %q", row)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package solvability implements the wait-free solvability results of
+// Section 5: the binomial-gcd condition of Theorem 10 (via the results of
+// Castañeda and Rajsbaum on weak symmetry breaking and (2n-2)-renaming),
+// and a classifier that combines Theorems 8-11, Lemmas 4-5 and the
+// communication-free characterization into a per-task status report.
+package solvability
+
+import (
+	"fmt"
+
+	"repro/internal/gsb"
+	"repro/internal/nocomm"
+	"repro/internal/vecmath"
+)
+
+// BinomialGCD returns gcd{ C(n,i) : 1 <= i <= floor(n/2) }, the quantity
+// whose primality governs the wait-free solvability of WSB and
+// (2n-2)-renaming (Theorem 10, citing Castañeda-Rajsbaum). For n = 1 the
+// set is empty and the gcd is 0 by convention.
+func BinomialGCD(n int) int {
+	g := 0
+	for i := 1; 2*i <= n; i++ {
+		g = vecmath.GCD(g, vecmath.Binomial(n, i))
+	}
+	return g
+}
+
+// BinomialsPrime reports whether the set {C(n,i)} is prime in the paper's
+// sense, i.e. its gcd is 1.
+func BinomialsPrime(n int) bool { return BinomialGCD(n) == 1 }
+
+// IsPrimePower reports whether n = p^k for a prime p and k >= 1. Kummer's
+// theorem implies gcd{C(n,i)} = p exactly when n is a power of the prime
+// p, and 1 otherwise; the tests cross-check BinomialsPrime against this.
+func IsPrimePower(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			for n%p == 0 {
+				n /= p
+			}
+			return n == 1
+		}
+	}
+	return true // n itself is prime
+}
+
+// Status is the wait-free solvability classification of a GSB task in the
+// base model ASM_{n,n-1}[emptyset].
+type Status int
+
+// Classification outcomes.
+const (
+	// StatusInfeasible: the task has no legal output vector (Lemma 1).
+	StatusInfeasible Status = iota
+	// StatusTrivial: solvable with no communication at all (Theorem 9).
+	StatusTrivial
+	// StatusSolvable: wait-free solvable (with communication).
+	StatusSolvable
+	// StatusNotSolvable: provably not wait-free solvable.
+	StatusNotSolvable
+	// StatusUnknown: not determined by the results reproduced here.
+	StatusUnknown
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusTrivial:
+		return "trivial (no communication)"
+	case StatusSolvable:
+		return "wait-free solvable"
+	case StatusNotSolvable:
+		return "not wait-free solvable"
+	case StatusUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Report explains a classification.
+type Report struct {
+	Spec      gsb.Spec
+	Canonical gsb.Spec // canonical representative actually classified
+	Status    Status
+	Reason    string
+}
+
+// Classify determines the wait-free solvability status of a symmetric GSB
+// task from the paper's results:
+//
+//  1. infeasible tasks (Lemma 1);
+//  2. communication-free tasks (Theorem 9);
+//  3. election-equivalent and perfect-renaming tasks (Theorem 11,
+//     Corollary 5): not solvable;
+//  4. <n,m,l>=1,u> tasks when {C(n,i)} is not prime (Theorem 10 with
+//     Lemmas 4-5): not solvable;
+//  5. WSB and (2n-2)-renaming when {C(n,i)} is prime (the cited
+//     Castañeda-Rajsbaum upper bound): solvable;
+//  6. otherwise unknown.
+func Classify(spec gsb.Spec) Report {
+	if !spec.Symmetric() {
+		return classifyAsymmetric(spec)
+	}
+	if !spec.Feasible() {
+		return Report{Spec: spec, Canonical: spec, Status: StatusInfeasible,
+			Reason: "sum of lower bounds exceeds n or sum of upper bounds is below n (Lemma 1)"}
+	}
+	canon := spec.Canonical()
+	n, m := canon.N(), canon.M()
+	l, u := canon.SymBounds()
+
+	if nocomm.Solvable(canon) {
+		return Report{Spec: spec, Canonical: canon, Status: StatusTrivial,
+			Reason: "l = 0 and ceil((2n-1)/m) <= u: a fixed identity partition decides (Theorem 9)"}
+	}
+	if m == n && l == 1 && u == 1 {
+		return Report{Spec: spec, Canonical: canon, Status: StatusNotSolvable,
+			Reason: "perfect renaming is universal for GSB and election reduces to it (Theorem 8, Corollary 5)"}
+	}
+	if l >= 1 && m > 1 && !BinomialsPrime(n) {
+		return Report{Spec: spec, Canonical: canon, Status: StatusNotSolvable,
+			Reason: fmt.Sprintf("l >= 1 and gcd{C(%d,i)} = %d is not prime (Theorem 10)", n, BinomialGCD(n))}
+	}
+	if m == 2*n-2 && l == 0 && u == 1 && !BinomialsPrime(n) {
+		return Report{Spec: spec, Canonical: canon, Status: StatusNotSolvable,
+			Reason: fmt.Sprintf("(2n-2)-renaming is equivalent to WSB, and WSB is not solvable because gcd{C(%d,i)} = %d is not prime (Section 5.3)", n, BinomialGCD(n))}
+	}
+	if BinomialsPrime(n) {
+		if m == 2 && l == 1 {
+			return Report{Spec: spec, Canonical: canon, Status: StatusSolvable,
+				Reason: "the task is WSB (2-slot) and {C(n,i)} is prime (Castañeda-Rajsbaum via Theorem 10's converse direction)"}
+		}
+		if l == 0 && vecmath.CeilDiv(2*n-2, m) <= u {
+			return Report{Spec: spec, Canonical: canon, Status: StatusSolvable,
+				Reason: "solvable from (2n-2)-renaming (equivalent to WSB, solvable when {C(n,i)} is prime) by a fixed partition of the 2n-2 names"}
+		}
+	}
+	return Report{Spec: spec, Canonical: canon, Status: StatusUnknown,
+		Reason: "not determined by the results reproduced from the paper"}
+}
+
+func classifyAsymmetric(spec gsb.Spec) Report {
+	if !spec.Feasible() {
+		return Report{Spec: spec, Canonical: spec, Status: StatusInfeasible,
+			Reason: "sum of lower bounds exceeds n or sum of upper bounds is below n (Lemma 1)"}
+	}
+	if nocomm.Solvable(spec) {
+		return Report{Spec: spec, Canonical: spec, Status: StatusTrivial,
+			Reason: "a fixed identity partition satisfies the per-value bounds (Theorem 9 generalized)"}
+	}
+	if isElection(spec) {
+		return Report{Spec: spec, Canonical: spec, Status: StatusNotSolvable,
+			Reason: "election is not wait-free solvable (Theorem 11)"}
+	}
+	return Report{Spec: spec, Canonical: spec, Status: StatusUnknown,
+		Reason: "asymmetric task not determined by the results reproduced from the paper"}
+}
+
+func isElection(spec gsb.Spec) bool {
+	n := spec.N()
+	return spec.M() == 2 &&
+		spec.Lower(1) == 1 && spec.Upper(1) == 1 &&
+		spec.Lower(2) == n-1 && spec.Upper(2) == n-1
+}
+
+// FamilyReport classifies every feasible member of the <n,m,-,-> family.
+func FamilyReport(n, m int) []Report {
+	var out []Report
+	for _, spec := range gsb.Family(n, m) {
+		out = append(out, Classify(spec))
+	}
+	return out
+}
+
+// GCDRow is one row of the Theorem 10 classification table.
+type GCDRow struct {
+	N          int
+	GCD        int
+	Prime      bool // gcd == 1: WSB and (2n-2)-renaming solvable
+	PrimePower bool // n is a prime power (the arithmetic reason gcd > 1)
+}
+
+// GCDTable tabulates the binomial-gcd condition for n in [2..maxN].
+func GCDTable(maxN int) []GCDRow {
+	var rows []GCDRow
+	for n := 2; n <= maxN; n++ {
+		rows = append(rows, GCDRow{
+			N:          n,
+			GCD:        BinomialGCD(n),
+			Prime:      BinomialsPrime(n),
+			PrimePower: IsPrimePower(n),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,163 @@
+package solvability
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gsb"
+)
+
+func TestBinomialGCDKnownValues(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{1, 0}, {2, 2}, {3, 3}, {4, 2}, {5, 5}, {6, 1}, {7, 7},
+		{8, 2}, {9, 3}, {10, 1}, {11, 11}, {12, 1}, {16, 2}, {25, 5},
+		{27, 3}, {30, 1}, {32, 2},
+	}
+	for _, tc := range tests {
+		if got := BinomialGCD(tc.n); got != tc.want {
+			t.Errorf("BinomialGCD(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBinomialsPrimeIffNotPrimePower(t *testing.T) {
+	// Kummer's theorem: gcd{C(n,i)} > 1 exactly when n is a prime power.
+	for n := 2; n <= 48; n++ {
+		if got, want := BinomialsPrime(n), !IsPrimePower(n); got != want {
+			t.Errorf("n=%d: BinomialsPrime=%v, IsPrimePower=%v", n, got, !want)
+		}
+	}
+}
+
+func TestIsPrimePower(t *testing.T) {
+	powers := map[int]bool{
+		2: true, 3: true, 4: true, 5: true, 7: true, 8: true, 9: true,
+		11: true, 13: true, 16: true, 25: true, 27: true, 32: true, 49: true,
+		1: false, 6: false, 10: false, 12: false, 15: false, 36: false,
+		100: false,
+	}
+	for n, want := range powers {
+		if got := IsPrimePower(n); got != want {
+			t.Errorf("IsPrimePower(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestClassifyCornerstonesOfSection5(t *testing.T) {
+	tests := []struct {
+		name string
+		spec gsb.Spec
+		want Status
+	}{
+		{"(2n-1)-renaming trivial", gsb.Renaming(6, 11), StatusTrivial},
+		{"perfect renaming not solvable", gsb.PerfectRenaming(6), StatusNotSolvable},
+		{"perfect renaming n=7 not solvable", gsb.PerfectRenaming(7), StatusNotSolvable},
+		{"WSB n=6 solvable (gcd prime)", gsb.WSB(6), StatusSolvable},
+		{"WSB n=10 solvable", gsb.WSB(10), StatusSolvable},
+		{"WSB n=4 not solvable (prime power)", gsb.WSB(4), StatusNotSolvable},
+		{"WSB n=8 not solvable", gsb.WSB(8), StatusNotSolvable},
+		{"(2n-2)-renaming n=6 solvable", gsb.Renaming(6, 10), StatusSolvable},
+		{"(2n-2)-renaming n=8 not solvable", gsb.Renaming(8, 14), StatusNotSolvable},
+		{"3-slot n=8 not solvable", gsb.KSlot(8, 3), StatusNotSolvable},
+		{"infeasible", gsb.NewSym(5, 2, 0, 1), StatusInfeasible},
+		{"m=1 trivial", gsb.NewSym(5, 1, 0, 5), StatusTrivial},
+		{"election not solvable", gsb.Election(5), StatusNotSolvable},
+		{"election n=12 not solvable", gsb.Election(12), StatusNotSolvable},
+		{"bounded homonymous trivial", gsb.BoundedHomonymous(6, 3), StatusTrivial},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Classify(tc.spec)
+			if got.Status != tc.want {
+				t.Fatalf("Classify(%v) = %v (%s), want %v", tc.spec, got.Status, got.Reason, tc.want)
+			}
+			if got.Reason == "" {
+				t.Error("empty reason")
+			}
+		})
+	}
+}
+
+func TestClassifyKSlotUnsolvableOnPrimePowers(t *testing.T) {
+	// Theorem 10: <n,m,1,u> not wait-free solvable for prime-power n and
+	// any u, m > 1 — via the canonical representative, even when the given
+	// bounds have l = 0 but the task is a synonym of one with l >= 1.
+	spec := gsb.NewSym(8, 2, 0, 4) // synonym of <8,2,4,4>, l >= 1
+	got := Classify(spec)
+	if got.Status != StatusNotSolvable {
+		t.Fatalf("Classify(%v) = %v (%s), want not solvable", spec, got.Status, got.Reason)
+	}
+	if !strings.Contains(got.Reason, "Theorem 10") {
+		t.Errorf("reason %q should cite Theorem 10", got.Reason)
+	}
+}
+
+func TestClassifyRenamingBelow2NMinus2Unknown(t *testing.T) {
+	// (2n-3)-renaming for gcd-prime n is not settled by the reproduced
+	// results; the classifier must stay conservative.
+	got := Classify(gsb.Renaming(6, 9))
+	if got.Status != StatusUnknown {
+		t.Fatalf("Classify = %v (%s), want unknown", got.Status, got.Reason)
+	}
+}
+
+func TestClassifyWSBStrictlyWeakerThanElection(t *testing.T) {
+	// Section 5.3: election is strictly stronger than WSB; for gcd-prime n
+	// the classifier must separate them (WSB solvable, election not).
+	n := 6
+	wsb := Classify(gsb.WSB(n))
+	el := Classify(gsb.Election(n))
+	if wsb.Status != StatusSolvable || el.Status != StatusNotSolvable {
+		t.Fatalf("WSB=%v election=%v; want solvable vs not solvable", wsb.Status, el.Status)
+	}
+}
+
+func TestFamilyReportCoversFamily(t *testing.T) {
+	reports := FamilyReport(6, 3)
+	if len(reports) != len(gsb.Family(6, 3)) {
+		t.Fatalf("%d reports for %d specs", len(reports), len(gsb.Family(6, 3)))
+	}
+	for _, r := range reports {
+		if r.Status == StatusInfeasible {
+			t.Errorf("family member %v reported infeasible", r.Spec)
+		}
+		if !r.Canonical.IsCanonical() {
+			t.Errorf("report for %v has non-canonical representative %v", r.Spec, r.Canonical)
+		}
+	}
+}
+
+func TestGCDTable(t *testing.T) {
+	rows := GCDTable(12)
+	if len(rows) != 11 {
+		t.Fatalf("got %d rows, want 11", len(rows))
+	}
+	for _, row := range rows {
+		if row.Prime != (row.GCD == 1) {
+			t.Errorf("n=%d: Prime flag inconsistent with gcd %d", row.N, row.GCD)
+		}
+		if row.Prime == row.PrimePower {
+			t.Errorf("n=%d: prime-power flag should be the negation of gcd-primality", row.N)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{StatusInfeasible, StatusTrivial, StatusSolvable, StatusNotSolvable, StatusUnknown} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Status(") {
+			t.Errorf("missing String for %d", int(s))
+		}
+	}
+	if Status(99).String() != "Status(99)" {
+		t.Error("unknown status should render numerically")
+	}
+}
+
+func TestClassifyAsymmetricUnknown(t *testing.T) {
+	// A committee task that needs coordination but is not election.
+	spec := gsb.NewAsym(6, []int{1, 2, 1}, []int{2, 3, 4})
+	got := Classify(spec)
+	if got.Status != StatusUnknown {
+		t.Fatalf("Classify(%v) = %v, want unknown", spec, got.Status)
+	}
+}

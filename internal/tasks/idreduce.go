@@ -1,0 +1,33 @@
+package tasks
+
+import "repro/internal/sched"
+
+// IDReducer implements the constructions of Theorems 1 and 2: before
+// running an inner protocol, processes acquire intermediate identities in
+// [1..2n-1] using an index-independent, comparison-based (2n-1)-renaming
+// algorithm (the snapshot renaming of this package). The inner protocol
+// then runs with the intermediate identities.
+//
+//   - Theorem 1: a protocol designed for identities in [1..2n-1] thereby
+//     solves the same GSB task for any identity space [1..N], N >= 2n-1.
+//   - Theorem 2: because the renaming stage is comparison-based, the
+//     composed protocol is comparison-based whenever the inner protocol
+//     only uses its (intermediate) identity through comparisons — and the
+//     intermediate identities depend on the original ones only through
+//     their relative order.
+type IDReducer struct {
+	stage *SnapshotRenaming
+	inner Solver
+}
+
+// NewIDReducer composes a (2n-1)-renaming stage with an inner solver.
+func NewIDReducer(name string, n int, inner Solver) *IDReducer {
+	return &IDReducer{stage: NewSnapshotRenaming(name+".reduce", n), inner: inner}
+}
+
+// Solve implements Solver: it renames first, then runs the inner protocol
+// with the intermediate identity.
+func (r *IDReducer) Solve(p *sched.Proc, id int) int {
+	intermediate := r.stage.Solve(p, id)
+	return r.inner.Solve(p, intermediate)
+}

@@ -1,0 +1,51 @@
+package tasks
+
+import (
+	"sort"
+
+	"repro/internal/iis"
+	"repro/internal/sched"
+)
+
+// ISRenaming is the one-shot immediate-snapshot renaming protocol
+// (Borowsky-Gafni PODC 1993 style): a process invokes one immediate
+// snapshot and derives its name from the size s of its view and the rank
+// r of its identity within the view:
+//
+//	name = s(s-1)/2 + r.
+//
+// The containment and immediacy properties make names unique, and with p
+// participants every view has size at most p, so names lie in
+// [1..p(p+1)/2] — adaptive, like the splitter grid, but in a single
+// snapshot round. It is also the executable counterpart of the one-round
+// positive controls of the topology package (the decision map depends
+// only on (size, rank), a canonical comparison-based class).
+type ISRenaming struct {
+	is *iis.ImmediateSnapshot[int]
+}
+
+// NewISRenaming allocates the protocol for n processes.
+func NewISRenaming(name string, n int) *ISRenaming {
+	return &ISRenaming{is: iis.New[int](name, n)}
+}
+
+// Solve implements Solver.
+func (r *ISRenaming) Solve(p *sched.Proc, id int) int {
+	view := r.is.Invoke(p, id)
+	var ids []int
+	for j, present := range view.Present {
+		if present {
+			ids = append(ids, view.Vals[j])
+		}
+	}
+	sort.Ints(ids)
+	s := len(ids)
+	rank := 0
+	for k, v := range ids {
+		if v == id {
+			rank = k + 1
+			break
+		}
+	}
+	return s*(s-1)/2 + rank
+}

@@ -1,0 +1,100 @@
+package tasks
+
+import (
+	"testing"
+
+	"repro/internal/gsb"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+func TestFetchIncRenamingSolvesPerfectRenaming(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		spec := gsb.PerfectRenaming(n)
+		for seed := int64(0); seed < 15; seed++ {
+			_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+				func(n int) Solver { return NewFetchIncRenaming("FI", n) })
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestTASRenamingSolvesPerfectRenaming(t *testing.T) {
+	for n := 1; n <= 7; n++ {
+		spec := gsb.PerfectRenaming(n)
+		for seed := int64(0); seed < 15; seed++ {
+			_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+				func(n int) Solver { return NewTASRenaming("TAS", n) })
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestTASRenamingWithCrashes(t *testing.T) {
+	// Names remain distinct and in [1..n] even when processes crash
+	// mid-protocol (partial vectors must be completable).
+	n := 6
+	spec := gsb.PerfectRenaming(n)
+	for seed := int64(0); seed < 30; seed++ {
+		_, err := RunVerified(spec, sched.DefaultIDs(n),
+			sched.NewRandomCrash(seed, 0.05, n-1),
+			func(n int) Solver { return NewTASRenaming("TAS", n) })
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestElectionFromPerfectRenaming(t *testing.T) {
+	// Election (asymmetric GSB): exactly one leader.
+	for n := 2; n <= 7; n++ {
+		spec := gsb.Election(n)
+		for seed := int64(0); seed < 15; seed++ {
+			_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+				func(n int) Solver {
+					return NewElectionFromPerfectRenaming(NewTASRenaming("TAS", n))
+				})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestElectionFromRenamingBox(t *testing.T) {
+	// Same construction on top of the oracle box (adversarial perfect
+	// renaming assignment).
+	n := 5
+	spec := gsb.Election(n)
+	for seed := int64(0); seed < 20; seed++ {
+		_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+			func(n int) Solver {
+				box := mem.PerfectRenamingBox("PR", n, seed)
+				return NewElectionFromPerfectRenaming(NewBoxSolver(box))
+			})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestBoxSolverPassesThrough(t *testing.T) {
+	n := 4
+	box := mem.PerfectRenamingBox("PR", n, 3)
+	res, err := Run(n, sched.DefaultIDs(n), sched.NewRoundRobin(),
+		func(n int) Solver { return NewBoxSolver(box) })
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	out, err := res.DecidedVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gsb.PerfectRenaming(n).Verify(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package tasks
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// SlotRenaming is the algorithm of Figure 2: it solves the
+// (n+1)-renaming task (<n,n+1,0,1>-GSB) in ASM_{n,n-1}[<n,n-1,1,n>-GSB],
+// i.e. wait-free shared memory enriched with an object KS solving the
+// (n-1)-slot task.
+//
+// Each process first acquires a slot in [1..n-1] from KS. By the slot
+// task's pigeonhole structure, exactly two processes share one slot and
+// the other n-2 slots are exclusive. A process that sees no rival in its
+// snapshot keeps its slot as its name; the two rivals order themselves by
+// identity and take the reserve names n and n+1.
+type SlotRenaming struct {
+	n     int
+	ks    *mem.TaskBox
+	state *mem.Array[slotCell]
+}
+
+type slotCell struct {
+	slot int
+	id   int
+}
+
+// NewSlotRenaming allocates the protocol: ks must solve the (n-1)-slot
+// task <n,n-1,1,n>-GSB for the same n.
+func NewSlotRenaming(name string, n int, ks *mem.TaskBox) *SlotRenaming {
+	if n < 2 {
+		panic(fmt.Sprintf("tasks: slot renaming needs n >= 2, got %d", n))
+	}
+	spec := ks.Spec()
+	if spec.N() != n || spec.M() != n-1 {
+		panic(fmt.Sprintf("tasks: KS object solves %v, want the (n-1)-slot task for n=%d", spec, n))
+	}
+	return &SlotRenaming{n: n, ks: ks, state: mem.NewArray[slotCell](name, n)}
+}
+
+// Solve implements Solver, following Figure 2 line by line.
+func (s *SlotRenaming) Solve(p *sched.Proc, id int) int {
+	// (01) acquire a slot from the KS object.
+	mySlot := s.ks.Invoke(p)
+	// (02) publish (slot, id) and take an atomic snapshot.
+	s.state.Write(p, slotCell{slot: mySlot, id: id})
+	cells, oks := s.state.Snapshot(p)
+	// (03-04) exclusive slot: keep it as the new name.
+	rival := -1
+	for j := range cells {
+		if j != p.Index() && oks[j] && cells[j].slot == mySlot {
+			rival = j
+			break
+		}
+	}
+	if rival == -1 {
+		return mySlot
+	}
+	// (05-06) conflict: order by identity; smaller takes n, larger n+1.
+	if id < cells[rival].id {
+		return s.n
+	}
+	return s.n + 1
+}

@@ -1,0 +1,76 @@
+// Package tasks contains executable wait-free protocols for the GSB tasks
+// studied in the paper: snapshot-based adaptive renaming, splitter-grid
+// renaming, perfect renaming from oracle objects, the Figure 2 algorithm
+// solving (n+1)-renaming from the (n-1)-slot task, the WSB/(2n-2)-renaming
+// equivalence reductions, and the identity-space reduction of Theorems 1
+// and 2.
+//
+// Protocols are per-run instances: a constructor allocates the shared
+// objects, and Solve(p, id) runs the local algorithm of one process and
+// returns its decision. Solve takes the identity explicitly so that
+// protocols compose (e.g. a protocol can be run with intermediate
+// identities produced by a renaming stage, as in Theorem 1).
+package tasks
+
+import (
+	"fmt"
+
+	"repro/internal/gsb"
+	"repro/internal/sched"
+)
+
+// Solver is a one-shot distributed task protocol: Solve returns the value
+// decided by the calling process. Implementations must be wait-free,
+// index-independent and comparison-based unless documented otherwise.
+type Solver interface {
+	Solve(p *sched.Proc, id int) int
+}
+
+// SolverFunc adapts a function to the Solver interface.
+type SolverFunc func(p *sched.Proc, id int) int
+
+// Solve implements Solver.
+func (f SolverFunc) Solve(p *sched.Proc, id int) int { return f(p, id) }
+
+// Body adapts a Solver to a sched.Body that decides the solver's output,
+// using the process's own identity as input.
+func Body(s Solver) sched.Body {
+	return func(p *sched.Proc) {
+		p.Decide(s.Solve(p, p.ID()))
+	}
+}
+
+// Run executes build(n) once under the given identities and policy with a
+// generous step budget, and returns the recorded result.
+func Run(n int, ids []int, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
+	runner := sched.NewRunner(n, ids, policy, sched.WithMaxSteps(1<<21))
+	return runner.Run(Body(build(n)))
+}
+
+// RunVerified runs the protocol and checks its outputs against spec:
+// complete runs must produce a legal output vector; runs with crashes must
+// produce a legal completable prefix.
+func RunVerified(spec gsb.Spec, ids []int, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
+	res, err := Run(spec.N(), ids, policy, build)
+	if err != nil {
+		return res, err
+	}
+	crashed := false
+	for _, c := range res.Crashed {
+		crashed = crashed || c
+	}
+	if !crashed {
+		out, derr := res.DecidedVector()
+		if derr != nil {
+			return res, fmt.Errorf("tasks: %w", derr)
+		}
+		if verr := spec.Verify(out); verr != nil {
+			return res, fmt.Errorf("tasks: output %v violates %v: %w", out, spec, verr)
+		}
+		return res, nil
+	}
+	if verr := spec.VerifyPartial(res.Outputs, res.Decided); verr != nil {
+		return res, fmt.Errorf("tasks: partial outputs violate %v: %w", spec, verr)
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package tasks
+
+import (
+	"testing"
+
+	"repro/internal/gsb"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+func TestWSBFromRenamingBox(t *testing.T) {
+	// WSB from a (2n-2)-renaming oracle: pigeonhole guarantees both
+	// binary values are decided.
+	for n := 2; n <= 8; n++ {
+		spec := gsb.WSB(n)
+		for seed := int64(0); seed < 20; seed++ {
+			_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+				func(n int) Solver {
+					box := mem.NewTaskBox("R2n2", gsb.Renaming(n, 2*n-2), seed)
+					return NewWSBFromRenaming(n, NewBoxSolver(box))
+				})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestRenamingFromWSB(t *testing.T) {
+	// (2n-2)-renaming in ASM[WSB]: split via the WSB box, then mirrored
+	// adaptive renaming per group.
+	for n := 2; n <= 7; n++ {
+		spec := gsb.Renaming(n, 2*n-2)
+		for seed := int64(0); seed < 30; seed++ {
+			_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+				func(n int) Solver {
+					return NewRenamingFromWSB("RW", n, mem.WSBBox("WSB", n, seed))
+				})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestRenamingFromWSBWithCrashes(t *testing.T) {
+	n := 6
+	spec := gsb.Renaming(n, 2*n-2)
+	for seed := int64(0); seed < 40; seed++ {
+		_, err := RunVerified(spec, sched.DefaultIDs(n),
+			sched.NewRandomCrash(seed, 0.03, n-1),
+			func(n int) Solver {
+				return NewRenamingFromWSB("RW", n, mem.WSBBox("WSB", n, seed))
+			})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestWSBRenamingEquivalenceRoundTrip(t *testing.T) {
+	// Compose the two reductions: WSB box -> (2n-2)-renaming protocol ->
+	// WSB again; the final outputs must satisfy WSB.
+	for n := 3; n <= 6; n++ {
+		spec := gsb.WSB(n)
+		for seed := int64(0); seed < 20; seed++ {
+			_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+				func(n int) Solver {
+					ren := NewRenamingFromWSB("RW", n, mem.WSBBox("WSB", n, seed))
+					return NewWSBFromRenaming(n, ren)
+				})
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestKWSBFromRenaming(t *testing.T) {
+	// Corollary 4: k-WSB from 2(n-k)-renaming with no communication.
+	for n := 4; n <= 9; n++ {
+		for k := 1; 2*k <= n; k++ {
+			spec := gsb.KWSB(n, k)
+			for seed := int64(0); seed < 10; seed++ {
+				_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+					func(n int) Solver {
+						box := mem.NewTaskBox("R", gsb.Renaming(n, 2*(n-k)), seed)
+						return NewKWSBFromRenaming(n, k, NewBoxSolver(box))
+					})
+				if err != nil {
+					t.Fatalf("n=%d k=%d seed=%d: %v", n, k, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestKWSBValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n/2")
+		}
+	}()
+	NewKWSBFromRenaming(5, 3, nil)
+}
+
+func TestWSBFromSlotTask(t *testing.T) {
+	// Theorem 10's reduction: any <n,m,1,u>-GSB solver yields WSB by
+	// reducing the decided value modulo 2.
+	for n := 2; n <= 7; n++ {
+		for m := 2; m <= n; m++ {
+			spec := gsb.WSB(n)
+			for seed := int64(0); seed < 10; seed++ {
+				_, err := RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
+					func(n int) Solver {
+						box := mem.NewTaskBox("slot", gsb.KSlot(n, m), seed)
+						return NewWSBFromSlotTask(m, NewBoxSolver(box))
+					})
+				if err != nil {
+					t.Fatalf("n=%d m=%d seed=%d: %v", n, m, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestWSBFromSlotTaskValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m < 2")
+		}
+	}()
+	NewWSBFromSlotTask(1, nil)
+}
+
+func TestWSBFromRenamingRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range name")
+		}
+	}()
+	bad := SolverFunc(func(*sched.Proc, int) int { return 99 })
+	w := NewWSBFromRenaming(3, bad)
+	r := sched.NewRunner(1, []int{1}, sched.NewRoundRobin())
+	_, _ = r.Run(func(p *sched.Proc) { p.Decide(w.Solve(p, p.ID())) })
+}

@@ -1,0 +1,173 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/gsb"
+	"repro/internal/sat"
+)
+
+// FindDecisionMapSAT performs the same exhaustive search as
+// FindDecisionMap through a CNF encoding and the CDCL solver of package
+// sat. Clause learning handles instances whose constraints propagate too
+// weakly for chronological backtracking (notably weak symmetry breaking,
+// whose facet constraints are pure not-all-equal). It returns a per-class
+// assignment or nil when provably none exists.
+//
+// Encoding: boolean variable x[c][v] = "class c decides value v";
+// exactly-one constraints per class, and per facet and value the counting
+// bounds become blocking clauses over minimal violating class sets
+// (multiplicities of a class within a facet are respected).
+func (c *Complex) FindDecisionMapSAT(spec gsb.Spec) []int {
+	assign, res := c.findDecisionMapSAT(spec, 0)
+	if res == sat.Aborted {
+		panic("topology: unbounded SAT search aborted unexpectedly")
+	}
+	return assign
+}
+
+// findDecisionMapSAT is the budgeted core; maxConflicts 0 = unlimited.
+func (c *Complex) findDecisionMapSAT(spec gsb.Spec, maxConflicts int64) ([]int, sat.Result) {
+	if spec.N() != c.N {
+		panic(fmt.Sprintf("topology: spec %v is for n=%d, complex has n=%d", spec, spec.N(), c.N))
+	}
+	m := spec.M()
+	varOf := func(cls, val int) int { return cls*m + val } // val is 1-based
+
+	solver := sat.New(c.Classes * m)
+	solver.MaxConflicts = maxConflicts
+
+	// Exactly one value per class.
+	for cls := 0; cls < c.Classes; cls++ {
+		lits := make([]int, m)
+		for v := 1; v <= m; v++ {
+			lits[v-1] = varOf(cls, v)
+		}
+		solver.AddClause(lits...)
+		for a := 1; a <= m; a++ {
+			for b := a + 1; b <= m; b++ {
+				solver.AddClause(-varOf(cls, a), -varOf(cls, b))
+			}
+		}
+	}
+
+	// Facet counting constraints over class multiplicities.
+	for _, facet := range c.Facets {
+		mult := map[int]int{}
+		for _, vtx := range facet {
+			mult[c.Vertices[vtx].Class]++
+		}
+		cms := make([]classMult, 0, len(mult))
+		for cls, t := range mult {
+			cms = append(cms, classMult{cls, t})
+		}
+		k := len(cms)
+		// Enumerate subsets of the facet's classes.
+		for v := 1; v <= m; v++ {
+			upper, lower := spec.Upper(v), spec.Lower(v)
+			for mask := 1; mask < 1<<k; mask++ {
+				total := 0
+				for i := 0; i < k; i++ {
+					if mask&(1<<i) != 0 {
+						total += cms[i].mult
+					}
+				}
+				// Upper bound: the classes in the subset cannot all pick v
+				// if their combined multiplicity exceeds u_v. Only minimal
+				// violating subsets are needed: every proper subset must be
+				// within the bound.
+				if total > upper && minimalOver(cms, mask, upper) {
+					lits := make([]int, 0, k)
+					for i := 0; i < k; i++ {
+						if mask&(1<<i) != 0 {
+							lits = append(lits, -varOf(cms[i].cls, v))
+						}
+					}
+					solver.AddClause(lits...)
+				}
+				// Lower bound: the complement of the subset cannot supply
+				// l_v instances, so some class in the subset must pick v.
+				rest := c.N - total
+				if rest < lower && minimalUnder(cms, mask, c.N, lower) {
+					lits := make([]int, 0, k)
+					for i := 0; i < k; i++ {
+						if mask&(1<<i) != 0 {
+							lits = append(lits, varOf(cms[i].cls, v))
+						}
+					}
+					solver.AddClause(lits...)
+				}
+			}
+		}
+	}
+
+	switch solver.Solve() {
+	case sat.Unsat:
+		return nil, sat.Unsat
+	case sat.Aborted:
+		return nil, sat.Aborted
+	}
+	model := solver.Model()
+	assign := make([]int, c.Classes)
+	for cls := 0; cls < c.Classes; cls++ {
+		for v := 1; v <= m; v++ {
+			if model[varOf(cls, v)] {
+				assign[cls] = v
+				break
+			}
+		}
+		if assign[cls] == 0 {
+			panic("topology: SAT model left a class unassigned")
+		}
+	}
+	if err := c.CheckDecisionMap(spec, assign); err != nil {
+		panic(fmt.Sprintf("topology: SAT model fails verification: %v", err))
+	}
+	return assign, sat.Sat
+}
+
+type classMult struct {
+	cls, mult int
+}
+
+// minimalOver reports whether removing any single element of the subset
+// brings the multiplicity total to at most the bound (so the subset is a
+// minimal violator of the upper bound).
+func minimalOver(cms []classMult, mask, upper int) bool {
+	total := 0
+	for i := range cms {
+		if mask&(1<<i) != 0 {
+			total += cms[i].mult
+		}
+	}
+	for i := range cms {
+		if mask&(1<<i) != 0 && total-cms[i].mult > upper {
+			return false
+		}
+	}
+	return true
+}
+
+// minimalUnder reports whether the subset is a minimal set whose
+// complement cannot reach the lower bound (removing any element restores
+// feasibility of the complement).
+func minimalUnder(cms []classMult, mask, n, lower int) bool {
+	total := 0
+	for i := range cms {
+		if mask&(1<<i) != 0 {
+			total += cms[i].mult
+		}
+	}
+	for i := range cms {
+		if mask&(1<<i) != 0 && n-(total-cms[i].mult) < lower {
+			return false
+		}
+	}
+	return true
+}
+
+// SolvableSAT is the CDCL-backed variant of Solvable.
+func SolvableSAT(spec gsb.Spec, rounds int) bool {
+	c := BuildIIS(spec.N(), rounds)
+	return c.FindDecisionMapSAT(spec) != nil
+}

@@ -1,0 +1,73 @@
+// Package universal implements Theorem 8 of the paper: perfect renaming
+// (the <n,n,1,1>-GSB task) is universal for the family of GSB tasks. Given
+// any solver for perfect renaming, the construction solves an arbitrary
+// feasible <n,m,l⃗,u⃗>-GSB task with no further communication.
+package universal
+
+import (
+	"fmt"
+
+	"repro/internal/gsb"
+	"repro/internal/sched"
+	"repro/internal/tasks"
+)
+
+// Construction solves an arbitrary feasible GSB task from perfect
+// renaming, exactly as in the proof of Theorem 8:
+//
+//   - symmetric <n,m,l,u>-GSB: a process with perfect name dec outputs
+//     ((dec-1) mod m) + 1; the resulting counting vector is the balanced
+//     one, which feasibility (l <= floor(n/m) <= ceil(n/m) <= u) makes
+//     legal;
+//   - asymmetric <n,m,l⃗,u⃗>-GSB: the set of output vectors is ordered
+//     deterministically and its first element V is fixed in advance; a
+//     process with perfect name dec outputs V[dec-1]. Every entry of V is
+//     taken by exactly one process, so the output vector is V itself.
+type Construction struct {
+	spec    gsb.Spec
+	renamer tasks.Solver
+	vector  []int // deterministic output vector for the asymmetric case
+}
+
+// New builds the construction for a feasible spec from a perfect renaming
+// solver for spec.N() processes.
+func New(spec gsb.Spec, renamer tasks.Solver) *Construction {
+	if !spec.Feasible() {
+		panic(fmt.Sprintf("universal: spec %v is infeasible", spec))
+	}
+	c := &Construction{spec: spec, renamer: renamer}
+	if !spec.Symmetric() {
+		c.vector = firstOutputVector(spec)
+	}
+	return c
+}
+
+// firstOutputVector returns the first legal output vector in the
+// deterministic order induced by descending-lexicographic counting
+// vectors expanded value-by-value ("all 1s, then all 2s, ...").
+func firstOutputVector(spec gsb.Spec) []int {
+	counting := spec.CountingVectors()
+	if len(counting) == 0 {
+		panic(fmt.Sprintf("universal: spec %v has no counting vectors", spec))
+	}
+	cv := counting[0]
+	out := make([]int, 0, spec.N())
+	for v, c := range cv {
+		for k := 0; k < c; k++ {
+			out = append(out, v+1)
+		}
+	}
+	return out
+}
+
+// Solve implements tasks.Solver.
+func (c *Construction) Solve(p *sched.Proc, id int) int {
+	dec := c.renamer.Solve(p, id)
+	if dec < 1 || dec > c.spec.N() {
+		panic(fmt.Sprintf("universal: perfect renaming produced %d outside [1..%d]", dec, c.spec.N()))
+	}
+	if c.spec.Symmetric() {
+		return ((dec - 1) % c.spec.M()) + 1
+	}
+	return c.vector[dec-1]
+}
