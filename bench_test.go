@@ -6,6 +6,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -68,6 +70,79 @@ func BenchmarkFigure2(b *testing.B) {
 					})
 				if err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreSchedules measures the exhaustive schedule-exploration
+// engine on the <6,3,-,-> family: a budget-bounded walk of the schedule
+// tree of the hardest member solved via the Theorem 8 universal
+// construction, comparing the sequential depth-first baseline against the
+// work-stealing engine at increasing worker counts. On multi-core hosts
+// the workers=4/8 rows show the wall-clock speedup of parallel stateless
+// re-execution; single-core hosts show that the engine adds no overhead.
+func BenchmarkExploreSchedules(b *testing.B) {
+	spec := gsb.Hardest(6, 3)
+	const budget = 256
+	n := spec.N()
+	build := func() sched.Body {
+		return tasks.Body(universal.New(spec, tasks.NewTASRenaming("TAS", n)))
+	}
+	check := func(res *sched.Result) error {
+		out, err := res.DecidedVector()
+		if err != nil {
+			return err
+		}
+		return spec.Verify(out)
+	}
+	exhaust := func(b *testing.B, count int, err error) {
+		b.Helper()
+		if err != nil && !errors.Is(err, sched.ErrExplorationBudget) {
+			b.Fatal(err)
+		}
+		if count != budget {
+			b.Fatalf("explored %d schedules, want the full budget %d", count, budget)
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count, err := sched.ExploreSequential(n, sched.DefaultIDs(n), budget, 1<<20, build, check)
+			exhaust(b, count, err)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				count, err := sched.Explore(context.Background(), n, sched.DefaultIDs(n),
+					sched.ExploreOptions{Workers: workers, MaxRuns: budget, MaxSteps: 1 << 20}, build, check)
+				exhaust(b, count, err)
+			}
+		})
+	}
+}
+
+// BenchmarkExploreCrashSweep measures the randomized crash-injection
+// sweep mode of the exploration engine on the <6,3,-,-> family hardest
+// member, across worker counts.
+func BenchmarkExploreCrashSweep(b *testing.B) {
+	spec := gsb.Hardest(6, 3)
+	const sweeps = 256
+	n := spec.N()
+	build := func(n int) tasks.Solver {
+		return universal.New(spec, tasks.NewTASRenaming("TAS", n))
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				count, err := tasks.ExploreVerified(context.Background(), spec, sched.DefaultIDs(n),
+					sched.ExploreOptions{Workers: workers, CrashRuns: sweeps, CrashProb: 0.02, Seed: int64(i)}, build)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if count != sweeps {
+					b.Fatalf("swept %d runs, want %d", count, sweeps)
 				}
 			}
 		})

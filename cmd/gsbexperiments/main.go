@@ -16,6 +16,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run the larger, slower sweeps")
+	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	fmt.Println("== Table 1: kernels of the <6,3,-,-> family ==")
@@ -37,6 +38,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(repro.Figure2Text(rows))
+
+	fmt.Println("\n== Exhaustive exploration: Figure 2 under every failure-free schedule ==")
+	exploreNs := []int{2, 3}
+	crashRuns := 200
+	if *full {
+		crashRuns = 2000
+	}
+	exploreRows, err := repro.ExploreExperiment(exploreNs, *workers, crashRuns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(repro.ExploreText(exploreRows))
 
 	fmt.Println("\n== Theorem 8: universality of perfect renaming ==")
 	nMax := 6

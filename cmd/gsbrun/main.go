@@ -1,10 +1,14 @@
 // Command gsbrun executes one of the repository's wait-free protocols
 // under a seeded adversarial scheduler and prints the run: the decided
 // output vector, crash pattern, step counts and verification verdict.
+// With -explore it instead model-checks the protocol over every
+// failure-free schedule (or a randomized crash sweep when -crash > 0)
+// using the parallel exploration engine.
 //
 // Usage:
 //
 //	gsbrun [-protocol slot-renaming] [-n 6] [-seed 1] [-crash 0.02] [-runs 1]
+//	gsbrun -explore [-workers 8] [-maxruns 1000000] [-protocol slot-renaming] [-n 4]
 //
 // Protocols:
 //
@@ -18,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,13 +35,30 @@ func main() {
 	n := flag.Int("n", 6, "number of processes")
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	crash := flag.Float64("crash", 0, "per-decision crash probability (up to n-1 crashes)")
-	runs := flag.Int("runs", 1, "number of seeded runs (seeds seed..seed+runs-1)")
+	runs := flag.Int("runs", 1, "number of seeded runs (seeds seed..seed+runs-1); with -explore -crash, the crash-sweep run count")
 	trace := flag.Bool("trace", false, "print the step timeline of each run")
+	explore := flag.Bool("explore", false, "model-check the protocol over every failure-free schedule instead of sampling")
+	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS); only with -explore")
+	maxRuns := flag.Int("maxruns", 1<<20, "exploration schedule budget; only with -explore")
 	flag.Parse()
 
 	if *n < 2 {
 		fmt.Fprintln(os.Stderr, "gsbrun: need n >= 2")
 		os.Exit(2)
+	}
+	if *explore {
+		// -runs defaults to 1 for seeded runs; for a crash sweep an
+		// unset -runs means a 1000-run sweep, but an explicit value —
+		// even 1 — is honored.
+		sweepRuns := *runs
+		if !flagSet("runs") && *crash > 0 {
+			sweepRuns = 1000
+		}
+		if err := exploreProtocol(*protocol, *n, *seed, *crash, *workers, *maxRuns, sweepRuns); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	for s := *seed; s < *seed+int64(*runs); s++ {
 		if err := runOnce(*protocol, *n, s, *crash, *trace); err != nil {
@@ -46,46 +68,84 @@ func main() {
 	}
 }
 
-func runOnce(protocol string, n int, seed int64, crash float64, trace bool) error {
-	var spec repro.Spec
-	var build func(n int) repro.Solver
+// flagSet reports whether the named flag was set explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// selectProtocol maps a -protocol name to its task spec and constructor.
+func selectProtocol(protocol string, n int, seed int64) (repro.Spec, func(n int) repro.Solver, error) {
 	switch protocol {
 	case "renaming":
-		spec = repro.Renaming(n, 2*n-1)
-		build = func(n int) repro.Solver { return repro.NewSnapshotRenaming("R", n) }
+		return repro.Renaming(n, 2*n-1),
+			func(n int) repro.Solver { return repro.NewSnapshotRenaming("R", n) }, nil
 	case "grid":
-		spec = repro.Renaming(n, n*(n+1)/2)
-		build = func(n int) repro.Solver { return repro.NewGridRenaming("G", n) }
+		return repro.Renaming(n, n*(n+1)/2),
+			func(n int) repro.Solver { return repro.NewGridRenaming("G", n) }, nil
 	case "slot-renaming":
-		spec = repro.Renaming(n, n+1)
-		build = func(n int) repro.Solver {
+		return repro.Renaming(n, n+1), func(n int) repro.Solver {
 			return repro.NewSlotRenaming("F2", n, repro.SlotBox("KS", n, n-1, seed))
-		}
+		}, nil
 	case "wsb":
-		spec = repro.WSB(n)
-		build = func(n int) repro.Solver {
+		return repro.WSB(n), func(n int) repro.Solver {
 			box := repro.NewTaskBox("R", repro.Renaming(n, 2*n-2), seed)
 			return repro.NewWSBFromRenaming(n, repro.NewBoxSolver(box))
-		}
+		}, nil
 	case "renaming-wsb":
-		spec = repro.Renaming(n, 2*n-2)
-		build = func(n int) repro.Solver {
+		return repro.Renaming(n, 2*n-2), func(n int) repro.Solver {
 			return repro.NewRenamingFromWSB("RW", n, repro.WSBBox("WSB", n, seed))
-		}
+		}, nil
 	case "election":
-		spec = repro.Election(n)
-		build = func(n int) repro.Solver {
+		return repro.Election(n), func(n int) repro.Solver {
 			return repro.NewElectionFromPerfectRenaming(repro.NewTASRenaming("TAS", n))
-		}
+		}, nil
 	case "universal":
-		spec = repro.KSlot(n, 3)
-		build = func(n int) repro.Solver {
+		spec := repro.KSlot(n, 3)
+		return spec, func(n int) repro.Solver {
 			return repro.NewUniversalConstruction(spec, repro.NewTASRenaming("TAS", n))
-		}
+		}, nil
 	default:
-		return fmt.Errorf("unknown protocol %q", protocol)
+		return repro.Spec{}, nil, fmt.Errorf("unknown protocol %q", protocol)
 	}
+}
 
+// exploreProtocol model-checks the protocol: exhaustively over every
+// failure-free schedule, or as a randomized crash sweep when crash > 0.
+func exploreProtocol(protocol string, n int, seed int64, crash float64, workers, maxRuns, runs int) error {
+	spec, build, err := selectProtocol(protocol, n, seed)
+	if err != nil {
+		return err
+	}
+	opts := repro.ExploreOptions{Workers: workers, MaxRuns: maxRuns, Seed: seed}
+	mode := "every failure-free schedule"
+	if crash > 0 {
+		if runs < 1 {
+			return fmt.Errorf("crash sweep needs -runs >= 1, got %d", runs)
+		}
+		opts.CrashRuns = runs
+		opts.CrashProb = crash
+		mode = fmt.Sprintf("%d crash-injected runs (p=%v)", runs, crash)
+	}
+	count, err := repro.ExploreVerified(context.Background(), spec, repro.DefaultIDs(n), opts, build)
+	if err != nil {
+		return fmt.Errorf("after %d schedules: %w", count, err)
+	}
+	fmt.Printf("protocol=%s task=%v explored %s\n", protocol, spec, mode)
+	fmt.Printf("  %d schedules verified against %v\n", count, spec)
+	return nil
+}
+
+func runOnce(protocol string, n int, seed int64, crash float64, trace bool) error {
+	spec, build, err := selectProtocol(protocol, n, seed)
+	if err != nil {
+		return err
+	}
 	var policy repro.Policy
 	if crash > 0 {
 		policy = repro.NewRandomCrashPolicy(seed, crash, n-1)

@@ -19,6 +19,14 @@
 //	            repro.NewTaskBox("r", repro.Renaming(n, 2*n-2), 1)))
 //	    })
 //
-// See README.md for the architecture overview and EXPERIMENTS.md for the
-// paper-versus-measured record of every table, figure and theorem.
+// To model-check a protocol instead of sampling one schedule, explore the
+// complete failure-free schedule tree (or a randomized crash sweep) on a
+// parallel worker pool, configured by ExploreOptions:
+//
+//	count, err := repro.ExploreVerified(ctx, spec, repro.DefaultIDs(n),
+//	    repro.ExploreOptions{Workers: 8, MaxRuns: 1 << 20}, build)
+//
+// See README.md for the architecture overview and the exploration-engine
+// tuning guide, and EXPERIMENTS.md for the paper-versus-measured record
+// of every table, figure and theorem.
 package repro

@@ -57,6 +57,9 @@ type (
 	Policy = sched.Policy
 	// RunResult records outputs, crashes and the schedule of a run.
 	RunResult = sched.Result
+	// ExploreOptions configures the parallel exploration engine: worker
+	// count, run/step budgets, and the crash-injection sweep mode.
+	ExploreOptions = sched.ExploreOptions
 )
 
 var (
@@ -67,8 +70,16 @@ var (
 	NewRandomCrashPolicy = sched.NewRandomCrash
 	NewScriptPolicy      = sched.NewScript
 	ScriptFromSchedule   = sched.ScriptFromSchedule
-	// ExploreAll model-checks a protocol over every failure-free schedule.
-	ExploreAll = sched.ExploreAll
+	// Explore model-checks a protocol over every failure-free schedule
+	// (or a randomized crash sweep) with a work-stealing worker pool;
+	// ExploreAll is its single-worker form, ExploreSequential the
+	// historical depth-first baseline it is differentially tested against.
+	Explore           = sched.Explore
+	ExploreAll        = sched.ExploreAll
+	ExploreCrashes    = sched.ExploreCrashes
+	ExploreSequential = sched.ExploreSequential
+	// ErrExplorationBudget reports a schedule tree larger than MaxRuns.
+	ErrExplorationBudget = sched.ErrExplorationBudget
 	// Timeline and ScheduleSummary render recorded schedules for humans.
 	Timeline        = sched.Timeline
 	ScheduleSummary = sched.Summary
@@ -99,6 +110,7 @@ type (
 var (
 	Run                            = tasks.Run
 	RunVerified                    = tasks.RunVerified
+	ExploreVerified                = tasks.ExploreVerified
 	SolverBody                     = tasks.Body
 	NewSnapshotRenaming            = tasks.NewSnapshotRenaming
 	NewGridRenaming                = tasks.NewGridRenaming
@@ -161,13 +173,16 @@ var (
 	BoundedRoundsCheckSAT = topology.SolvableSAT
 )
 
-// Paper artifacts (Table 1, Figure 1, Figure 2).
+// Paper artifacts (Table 1, Figure 1, Figure 2) and the exhaustive
+// exploration experiment.
 var (
 	Table1            = harness.Table1
 	Figure1Text       = harness.Figure1Text
 	Figure1DOT        = harness.Figure1DOT
 	Figure2Experiment = harness.Figure2Experiment
 	Figure2Text       = harness.Figure2Text
+	ExploreExperiment = harness.ExploreExperiment
+	ExploreText       = harness.ExploreText
 	SolvabilityText   = harness.SolvabilityText
 	GCDTableText      = harness.GCDTableText
 )

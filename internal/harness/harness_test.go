@@ -152,3 +152,29 @@ func TestGCDTableText(t *testing.T) {
 		}
 	}
 }
+
+func TestExploreExperiment(t *testing.T) {
+	rows, err := ExploreExperiment([]int{2}, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	// 2 processes x 4 steps each (slot invoke, write, snapshot, decide):
+	// C(8,4) = 70 distinct failure-free schedules.
+	if r.Schedules != 70 {
+		t.Errorf("n=2: explored %d schedules, want 70", r.Schedules)
+	}
+	if r.CrashRuns != 50 {
+		t.Errorf("n=2: %d crash runs, want 50", r.CrashRuns)
+	}
+	if r.Workers != 2 {
+		t.Errorf("n=2: workers = %d, want 2", r.Workers)
+	}
+	text := ExploreText(rows)
+	if !strings.Contains(text, "every failure-free schedule") || !strings.Contains(text, "70") {
+		t.Errorf("ExploreText malformed:\n%s", text)
+	}
+}

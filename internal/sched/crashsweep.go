@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ExploreCrashes runs a randomized crash-injection sweep behind the same
+// worker-pool API as the exhaustive exploration: opts.CrashRuns runs, each
+// scheduled by a RandomCrash policy seeded deterministically from
+// opts.Seed and the run index, distributed over opts.Workers goroutines.
+// check sees every completed run, including runs with crashed processes
+// (Result.Crashed reports which).
+//
+// On success the returned count is exactly opts.CrashRuns. On failure the
+// reported run is the one with the smallest index whose property check
+// (or execution) failed — independent of worker interleaving — and the
+// count is that run's 1-based index. Explore dispatches here when
+// opts.CrashRuns > 0.
+func ExploreCrashes(ctx context.Context, n int, ids []int, opts ExploreOptions, build func() Body, check func(*Result) error) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = opts.withDefaults(n)
+	if opts.CrashRuns <= 0 {
+		return 0, fmt.Errorf("sched: crash sweep needs CrashRuns > 0 (got %d)", opts.CrashRuns)
+	}
+
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		bestIdx = -1
+		bestErr error
+		wg      sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if bestIdx < 0 || i < bestIdx {
+			bestIdx, bestErr = i, err
+		}
+	}
+	failedBefore := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return bestIdx >= 0 && i > bestIdx
+	}
+
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= opts.CrashRuns {
+					return
+				}
+				if failedBefore(i) {
+					// An earlier run already failed; later runs cannot
+					// change the reported outcome. Indices are claimed in
+					// order, so returning drains the sweep.
+					return
+				}
+				policy := NewRandomCrash(crashSweepSeed(opts.Seed, i), opts.CrashProb, opts.MaxCrashes)
+				runner := NewRunner(n, ids, policy, WithMaxSteps(opts.MaxSteps))
+				res, err := runner.Run(build())
+				if err != nil {
+					record(i, fmt.Errorf("sched: crash sweep run %d (seed %d): %w", i, crashSweepSeed(opts.Seed, i), err))
+					continue
+				}
+				if check == nil {
+					continue
+				}
+				if cerr := check(res); cerr != nil {
+					record(i, fmt.Errorf("sched: crash sweep run %d (seed %d) violates property: %w", i, crashSweepSeed(opts.Seed, i), cerr))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if bestIdx >= 0 {
+		return bestIdx + 1, bestErr
+	}
+	if err := ctx.Err(); err != nil {
+		completed := int(next.Load())
+		if completed > opts.CrashRuns {
+			completed = opts.CrashRuns
+		}
+		return completed, fmt.Errorf("sched: crash sweep canceled: %w", err)
+	}
+	return opts.CrashRuns, nil
+}
+
+// crashSweepSeed derives the per-run policy seed: a splitmix-style mix of
+// the sweep seed and the run index, so sweeps are reproducible and runs
+// are decorrelated.
+func crashSweepSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -9,9 +10,16 @@ import (
 // schedule of a deterministic protocol (the tree of adversary choices)
 // and checks a property on each complete run. Protocols are deterministic
 // given the schedule, so stateless re-execution with a scripted prefix
-// explores the full tree. Crash choices are deliberately excluded — the
-// crash-free schedule space is already exponential, and crash coverage is
-// handled by randomized injection elsewhere.
+// explores the full tree. Crash choices are excluded from the exhaustive
+// tree — the crash-free schedule space is already exponential — and are
+// covered instead by the randomized crash sweep mode of Explore (set
+// ExploreOptions.CrashRuns), which distributes seeded crash-injected runs
+// over the same worker pool.
+//
+// The exhaustive engine itself lives in explore_parallel.go; this file
+// keeps the prefix-replay policy and the single-goroutine reference
+// implementation that the parallel engine is differentially tested
+// against.
 
 // ErrExplorationBudget is returned when the schedule tree exceeds the
 // caller's run budget.
@@ -49,6 +57,27 @@ func (e *explorePolicy) Next(pending []int, _ int) Decision {
 	return Decision{Proc: pick}
 }
 
+// branches returns the unexplored sibling prefixes of a completed (or
+// aborted) run: for every decision point at or past the replayed prefix,
+// one new prefix per pending process larger than the one chosen (the
+// chosen process is always the smallest pending).
+func (e *explorePolicy) branches() [][]int {
+	var out [][]int
+	for i := len(e.prefix); i < len(e.choices); i++ {
+		chosen := e.choices[i]
+		for _, alt := range e.pending[i] {
+			if alt <= chosen {
+				continue
+			}
+			branch := make([]int, i+1)
+			copy(branch, e.choices[:i])
+			branch[i] = alt
+			out = append(out, branch)
+		}
+	}
+	return out
+}
+
 // ExploreAll runs the protocol under every failure-free schedule and
 // invokes check on each completed run. build is called once per run and
 // must return a fresh protocol instance (fresh shared memory). It returns
@@ -56,10 +85,34 @@ func (e *explorePolicy) Next(pending []int, _ int) Decision {
 // exploration (ErrExplorationBudget beyond it); maxSteps bounds each
 // individual run.
 //
+// ExploreAll is the single-worker entry point of the work-distributing
+// engine in explore_parallel.go; build and check may therefore keep state
+// across runs. Note one difference from the historical depth-first
+// implementation: on a property violation the engine keeps exploring
+// lexicographically smaller schedules and then re-executes the runs below
+// the reported one to make the returned count deterministic, so build and
+// check are invoked more times (and in a different order) than a DFS that
+// stops at the first violation. Builds whose behavior depends on the
+// invocation count should use ExploreSequential instead. Use Explore with
+// ExploreOptions{Workers: N} to spread the tree over N workers (build and
+// check must then be safe for concurrent use).
+//
 // The protocol must be deterministic given the schedule (true for every
 // protocol in this repository; randomized protocols would make prefix
 // replay diverge, which is detected and reported as a panic).
 func ExploreAll(n int, ids []int, maxRuns, maxSteps int, build func() Body, check func(*Result) error) (int, error) {
+	return Explore(context.Background(), n, ids, ExploreOptions{
+		Workers:  1,
+		MaxRuns:  maxRuns,
+		MaxSteps: maxSteps,
+	}, build, check)
+}
+
+// ExploreSequential is the historical LIFO-stack depth-first exploration,
+// kept as the reference implementation: the parallel engine is
+// differentially tested and benchmarked against it. Semantics are those
+// of ExploreAll.
+func ExploreSequential(n int, ids []int, maxRuns, maxSteps int, build func() Body, check func(*Result) error) (int, error) {
 	stack := [][]int{{}}
 	runs := 0
 	for len(stack) > 0 {
@@ -79,21 +132,7 @@ func ExploreAll(n int, ids []int, maxRuns, maxSteps int, build func() Body, chec
 		if err := check(res); err != nil {
 			return runs, fmt.Errorf("sched: schedule %v violates property: %w", policy.choices, err)
 		}
-
-		// Branch on every decision point past the prefix where another
-		// process could have been chosen instead.
-		for i := len(prefix); i < len(policy.choices); i++ {
-			chosen := policy.choices[i]
-			for _, alt := range policy.pending[i] {
-				if alt <= chosen {
-					continue // chosen is always the smallest pending
-				}
-				branch := make([]int, i+1)
-				copy(branch, policy.choices[:i])
-				branch[i] = alt
-				stack = append(stack, branch)
-			}
-		}
+		stack = append(stack, policy.branches()...)
 	}
 	return runs, nil
 }

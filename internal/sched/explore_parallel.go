@@ -1,0 +1,373 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the work-distributing exploration engine: a pool of workers
+// pulls schedule prefixes from a sharded frontier with work-stealing,
+// re-executes the protocol under each prefix, and pushes the unexplored
+// sibling prefixes back. Stateless re-execution makes the tree walk
+// embarrassingly parallel: runs share nothing but the frontier, an atomic
+// run budget and the violation aggregate.
+//
+// Determinism contract. The tree of failure-free schedules is a fixed
+// object, so on a full exploration every worker count visits exactly the
+// same set of schedules and the reported count is interleaving-independent.
+// When the property fails, workers do not race to report whichever
+// violation they saw first: each failure is aggregated under a mutex as
+// the lexicographically smallest violating choice sequence, the frontier
+// is pruned against that bound (prefixes that can only lead to larger
+// schedules are dropped), and a final counting pass with the settled bound
+// recomputes how many schedules precede the reported one. The returned
+// (count, trace) pair is therefore a pure function of the protocol, the
+// property and the options — never of worker interleaving. Only a budget
+// exhausted mid-failure (MaxRuns smaller than the tree) can make the
+// outcome scheduling-dependent, which is why budget errors are reported
+// with the exact budget as the count.
+
+// DefaultMaxRuns is the exploration run budget used when
+// ExploreOptions.MaxRuns is zero.
+const DefaultMaxRuns = 1 << 20
+
+// ExploreOptions configures Explore.
+type ExploreOptions struct {
+	// Workers is the number of exploration goroutines; <= 0 means
+	// runtime.GOMAXPROCS(0). With more than one worker, build and check
+	// must be safe for concurrent use (each run still gets its own
+	// protocol instance, so protocols that allocate fresh shared memory
+	// in build need no extra care).
+	Workers int
+	// MaxRuns bounds the number of schedules executed in exhaustive
+	// exploration; beyond it the exploration stops with
+	// ErrExplorationBudget. <= 0 means DefaultMaxRuns. Crash sweep mode
+	// is bounded by CrashRuns instead and ignores MaxRuns.
+	MaxRuns int
+	// MaxSteps bounds each individual run (ErrStepBudget past it);
+	// <= 0 means the Runner default of 4096*n.
+	MaxSteps int
+	// Seed seeds work-stealing victim selection and, in crash sweep
+	// mode, the per-run crash-injection policies. Results never depend
+	// on the victim-selection stream; sweep results depend on Seed only.
+	Seed int64
+
+	// CrashRuns > 0 selects crash sweep mode: instead of exhaustively
+	// enumerating failure-free schedules, Explore executes CrashRuns
+	// randomized schedules with crash injection, distributed over the
+	// same worker pool. Seeds are derived deterministically from Seed,
+	// so the sweep is reproducible and the first failing run (smallest
+	// run index) is interleaving-independent.
+	CrashRuns int
+	// CrashProb is the per-decision crash probability in sweep mode.
+	CrashProb float64
+	// MaxCrashes caps injected crashes per run; <= 0 means n-1 (the
+	// wait-free maximum).
+	MaxCrashes int
+}
+
+func (o ExploreOptions) withDefaults(n int) ExploreOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = DefaultMaxRuns
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 4096 * n
+	}
+	if o.MaxCrashes <= 0 || o.MaxCrashes > n-1 {
+		o.MaxCrashes = n - 1
+	}
+	return o
+}
+
+// Explore runs the protocol under every failure-free schedule (or, when
+// opts.CrashRuns > 0, under a randomized crash-injection sweep) using a
+// pool of opts.Workers goroutines, and invokes check on each completed
+// run. build is called once per run and must return a fresh protocol
+// instance. It returns the number of distinct schedules explored; on a
+// property violation the error names the lexicographically smallest
+// violating choice sequence and the count is the number of schedules up
+// to and including it (both independent of worker interleaving).
+//
+// ctx cancellation aborts the exploration early; a nil ctx means
+// context.Background().
+func Explore(ctx context.Context, n int, ids []int, opts ExploreOptions, build func() Body, check func(*Result) error) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = opts.withDefaults(n)
+	if opts.CrashRuns > 0 {
+		return ExploreCrashes(ctx, n, ids, opts, build, check)
+	}
+
+	e := newExplorer(ctx, n, ids, opts, build, check, nil)
+	e.runWorkers()
+
+	if f := e.best; f != nil {
+		// Deterministic aggregation: recount the schedules preceding the
+		// settled lexicographic-minimum failure with a fixed bound. If the
+		// discovery pass drained without exhausting MaxRuns, the recount —
+		// which visits a subset of the discovery pass's prefixes — cannot
+		// exhaust it either, so the count is exact; otherwise the
+		// truncation is surfaced on the returned error.
+		recount := newExplorer(ctx, n, ids, opts, build, nil, f.choices)
+		recount.runWorkers()
+		count := int(recount.countBelow.Load()) + 1
+		err := f.err
+		if e.budgetHit.Load() || recount.budgetHit.Load() {
+			err = fmt.Errorf("%w (schedule count truncated: %w)", f.err, ErrExplorationBudget)
+		} else if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("%w (schedule count truncated: exploration canceled: %w)", f.err, cerr)
+		}
+		return count, err
+	}
+	if e.budgetHit.Load() {
+		return opts.MaxRuns, fmt.Errorf("%w (after %d runs)", ErrExplorationBudget, opts.MaxRuns)
+	}
+	if err := ctx.Err(); err != nil {
+		return int(e.completed.Load()), fmt.Errorf("sched: exploration canceled: %w", err)
+	}
+	return int(e.completed.Load()), nil
+}
+
+// exploreFailure is a failed run: a property violation or a runner error,
+// keyed by its choice sequence for lexicographic aggregation.
+type exploreFailure struct {
+	choices []int
+	err     error
+}
+
+// exploreShard is one lane of the frontier. Its owner pushes and pops at
+// the tail (depth-first, cache-warm deep prefixes); thieves take from the
+// head, where the shallowest prefixes — the largest unexplored subtrees —
+// sit, so one steal yields a meaningful chunk of work.
+type exploreShard struct {
+	mu    sync.Mutex
+	items [][]int
+}
+
+type explorer struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	n      int
+	ids    []int
+	opts   ExploreOptions
+	build  func() Body
+	check  func(*Result) error
+
+	shards  []*exploreShard
+	pending atomic.Int64 // prefixes queued or being processed
+
+	claimed    atomic.Int64 // run-budget slots claimed
+	completed  atomic.Int64 // runs that finished without error
+	budgetHit  atomic.Bool
+	countBelow atomic.Int64 // counting pass: runs lexicographically below bound
+
+	bound []int // fixed pruning bound for the counting pass; nil during discovery
+
+	mu   sync.Mutex
+	best *exploreFailure // lexicographically smallest failure seen
+}
+
+func newExplorer(ctx context.Context, n int, ids []int, opts ExploreOptions, build func() Body, check func(*Result) error, bound []int) *explorer {
+	e := &explorer{
+		n:     n,
+		ids:   ids,
+		opts:  opts,
+		build: build,
+		check: check,
+		bound: bound,
+	}
+	e.ctx, e.cancel = context.WithCancel(ctx)
+	e.shards = make([]*exploreShard, opts.Workers)
+	for i := range e.shards {
+		e.shards[i] = &exploreShard{}
+	}
+	e.pushTo(0, []int{}) // the root prefix: the unconstrained run
+	return e
+}
+
+func (e *explorer) runWorkers() {
+	defer e.cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < e.opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.worker(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (e *explorer) worker(w int) {
+	// The rng only picks steal victims; exploration results never depend
+	// on it (see the determinism contract above).
+	rng := rand.New(rand.NewSource(int64(uint64(e.opts.Seed) ^ 0x9e3779b97f4a7c15*uint64(w+1))))
+	idle := 0
+	for {
+		if e.ctx.Err() != nil {
+			return
+		}
+		prefix, ok := e.popOwn(w)
+		if !ok {
+			prefix, ok = e.steal(w, rng)
+		}
+		if !ok {
+			if e.pending.Load() == 0 {
+				return
+			}
+			// Another worker is still expanding a prefix; back off briefly.
+			if idle++; idle > 64 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		e.process(w, prefix)
+		e.pending.Add(-1)
+	}
+}
+
+func (e *explorer) pushTo(w int, prefix []int) {
+	e.pending.Add(1)
+	s := e.shards[w]
+	s.mu.Lock()
+	s.items = append(s.items, prefix)
+	s.mu.Unlock()
+}
+
+func (e *explorer) popOwn(w int) ([]int, bool) {
+	s := e.shards[w]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return nil, false
+	}
+	it := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return it, true
+}
+
+func (e *explorer) steal(w int, rng *rand.Rand) ([]int, bool) {
+	start := rng.Intn(len(e.shards))
+	for k := 0; k < len(e.shards); k++ {
+		v := (start + k) % len(e.shards)
+		if v == w {
+			continue
+		}
+		s := e.shards[v]
+		s.mu.Lock()
+		if len(s.items) > 0 {
+			it := s.items[0]
+			s.items = s.items[1:]
+			s.mu.Unlock()
+			return it, true
+		}
+		s.mu.Unlock()
+	}
+	return nil, false
+}
+
+// pruneBound returns the current lexicographic pruning bound: the fixed
+// bound of a counting pass, or the best failure found so far.
+func (e *explorer) pruneBound() []int {
+	if e.bound != nil {
+		return e.bound
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.best == nil {
+		return nil
+	}
+	return e.best.choices
+}
+
+func (e *explorer) recordFailure(choices []int, err error) {
+	c := append([]int(nil), choices...)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.best == nil || lexLess(c, e.best.choices) {
+		e.best = &exploreFailure{choices: c, err: err}
+	}
+}
+
+// process executes the run scripted by prefix and pushes its unexplored
+// sibling prefixes.
+func (e *explorer) process(w int, prefix []int) {
+	if b := e.pruneBound(); b != nil && !prefixViable(prefix, b) {
+		return
+	}
+	if e.claimed.Add(1) > int64(e.opts.MaxRuns) {
+		e.budgetHit.Store(true)
+		e.cancel()
+		return
+	}
+
+	policy := &explorePolicy{prefix: prefix}
+	runner := NewRunner(e.n, e.ids, policy, WithMaxSteps(e.opts.MaxSteps))
+	res, err := runner.Run(e.build())
+	switch {
+	case err != nil:
+		if e.bound == nil {
+			e.recordFailure(policy.choices, fmt.Errorf("sched: exploration run with prefix %v: %w", prefix, err))
+		}
+	case e.bound != nil:
+		if lexLess(policy.choices, e.bound) {
+			e.countBelow.Add(1)
+		}
+	default:
+		e.completed.Add(1)
+		if e.check != nil {
+			if cerr := e.check(res); cerr != nil {
+				e.recordFailure(policy.choices, fmt.Errorf("sched: schedule %v violates property: %w", policy.choices, cerr))
+			}
+		}
+	}
+
+	b := e.pruneBound()
+	for _, branch := range policy.branches() {
+		if b != nil && !prefixViable(branch, b) {
+			continue
+		}
+		e.pushTo(w, branch)
+	}
+}
+
+// lexLess reports whether choice sequence a precedes b lexicographically
+// (a proper prefix precedes its extensions).
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// prefixViable reports whether some completion of prefix can precede the
+// bound lexicographically (equivalently: whether the subtree under prefix
+// may still matter once bound is the smallest known failure).
+func prefixViable(prefix, bound []int) bool {
+	for i, c := range prefix {
+		if i >= len(bound) {
+			return false // strict extension of bound: every completion is larger
+		}
+		if c != bound[i] {
+			return c < bound[i]
+		}
+	}
+	return true
+}

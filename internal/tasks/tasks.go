@@ -13,8 +13,6 @@
 package tasks
 
 import (
-	"fmt"
-
 	"repro/internal/gsb"
 	"repro/internal/sched"
 )
@@ -55,22 +53,5 @@ func RunVerified(spec gsb.Spec, ids []int, policy sched.Policy, build func(n int
 	if err != nil {
 		return res, err
 	}
-	crashed := false
-	for _, c := range res.Crashed {
-		crashed = crashed || c
-	}
-	if !crashed {
-		out, derr := res.DecidedVector()
-		if derr != nil {
-			return res, fmt.Errorf("tasks: %w", derr)
-		}
-		if verr := spec.Verify(out); verr != nil {
-			return res, fmt.Errorf("tasks: output %v violates %v: %w", out, spec, verr)
-		}
-		return res, nil
-	}
-	if verr := spec.VerifyPartial(res.Outputs, res.Decided); verr != nil {
-		return res, fmt.Errorf("tasks: partial outputs violate %v: %w", spec, verr)
-	}
-	return res, nil
+	return res, verifyResult(spec, res)
 }
