@@ -13,9 +13,12 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# Benchmark smoke: compile and execute every benchmark once.
+# Benchmark smoke: compile and execute every benchmark once, then emit
+# the machine-readable exploration report (schedule counts, runs/sec,
+# partial-order-reduction factors) tracked across PRs.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/gsbbench -out BENCH_sched.json
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,212 @@
+// Command gsbbench measures the exploration engine and writes a
+// machine-readable report (BENCH_sched.json) so the performance
+// trajectory — schedule counts, runs per second, and the partial-order
+// reduction factor — is tracked across PRs. CI runs it in the benchmark
+// smoke step via `make bench`.
+//
+// Usage:
+//
+//	gsbbench [-out BENCH_sched.json] [-workers 0] [-full]
+//
+// The default profile finishes in seconds; -full adds the larger
+// explorations that partial-order reduction makes newly reachable
+// (slot-renaming n=4, the <7,3> oracle-box instance).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+// Entry is one measurement: a protocol model-checked under one engine
+// configuration.
+type Entry struct {
+	Name      string `json:"name"`
+	Task      string `json:"task"`
+	N         int    `json:"n"`
+	Workers   int    `json:"workers"`
+	Reduction string `json:"reduction"`
+	// Schedules is the number of schedules verified: every interleaving
+	// without reduction, one per commuting-step equivalence class with.
+	Schedules  int     `json:"schedules"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// RunsPerSec is verified schedules per second of wall clock — the
+	// end-to-end verification throughput. Under reduction the engine
+	// additionally executes pruned probe runs that are excluded from
+	// the numerator, so the figure is not raw executed-run throughput
+	// and is only comparable within the same reduction mode.
+	RunsPerSec float64 `json:"runs_per_sec"`
+	// ReductionFactor is exhaustive schedules / reduced schedules for
+	// the same protocol, when both are known (0 otherwise).
+	ReductionFactor float64 `json:"reduction_factor,omitempty"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// Report is the top-level BENCH_sched.json document.
+type Report struct {
+	Schema     string  `json:"schema"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Full       bool    `json:"full"`
+	Entries    []Entry `json:"entries"`
+}
+
+type benchCase struct {
+	name     string
+	n        int
+	spec     repro.Spec
+	build    func(n int) repro.Solver
+	fullOnly bool // exhaustive mode is infeasible; run reduced only
+	// analytic is the exhaustive schedule count when it is known in
+	// closed form (every process takes a fixed number of steps, making
+	// the tree an exact multinomial); used for the reduction factor of
+	// fullOnly cases, whose exhaustive walk cannot be executed.
+	analytic int
+}
+
+// multinomialSteps returns the number of interleavings of n processes
+// taking k steps each: (nk)! / (k!)^n.
+func multinomialSteps(n, k int) int {
+	total := 1
+	placed := 0
+	for p := 0; p < n; p++ {
+		// Multiply C(placed+k, k) into the running product.
+		for i := 1; i <= k; i++ {
+			placed++
+			total = total * placed / i // exact: product of consecutive ints divisible by i!
+		}
+	}
+	return total
+}
+
+func cases(full bool) []benchCase {
+	var cs []benchCase
+	for _, n := range []int{2, 3} {
+		n := n
+		cs = append(cs, benchCase{
+			name: fmt.Sprintf("slot-renaming-%d", n),
+			n:    n,
+			spec: repro.Renaming(n, n+1),
+			build: func(n int) repro.Solver {
+				return repro.NewSlotRenaming("F2", n, repro.SlotBox("KS", n, n-1, 1))
+			},
+		})
+	}
+	boxCase := func(n int) benchCase {
+		spec := repro.Hardest(n, 3)
+		return benchCase{
+			name:     fmt.Sprintf("box-%d-3", n),
+			n:        n,
+			spec:     spec,
+			build:    func(n int) repro.Solver { return repro.NewBoxSolver(repro.NewTaskBox("B", spec, 1)) },
+			fullOnly: true,
+			analytic: multinomialSteps(n, 2), // box invoke + decide per process
+		}
+	}
+	cs = append(cs, boxCase(6))
+	if full {
+		cs = append(cs, benchCase{
+			name: "slot-renaming-4",
+			n:    4,
+			spec: repro.Renaming(4, 5),
+			build: func(n int) repro.Solver {
+				return repro.NewSlotRenaming("F2", n, repro.SlotBox("KS", n, n-1, 1))
+			},
+			fullOnly: true,
+			analytic: multinomialSteps(4, 4), // invoke, write, snapshot, decide
+		}, boxCase(7))
+	}
+	return cs
+}
+
+func measure(c benchCase, workers int, reduction repro.Reduction) Entry {
+	opts := repro.ExploreOptions{Workers: workers, MaxRuns: 1 << 22, Reduction: reduction}
+	start := time.Now()
+	count, err := repro.ExploreVerified(context.Background(), c.spec, repro.DefaultIDs(c.n), opts, c.build)
+	elapsed := time.Since(start)
+	e := Entry{
+		Name:       c.name,
+		Task:       c.spec.String(),
+		N:          c.n,
+		Workers:    workers,
+		Reduction:  reduction.String(),
+		Schedules:  count,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		e.RunsPerSec = float64(count) / elapsed.Seconds()
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	return e
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sched.json", "output path for the JSON report")
+	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS)")
+	full := flag.Bool("full", false, "include the larger explorations (slower)")
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	rep := Report{
+		Schema:     "gsb-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Full:       *full,
+	}
+	for _, c := range cases(*full) {
+		reduced := measure(c, w, repro.ReductionSleepSets)
+		if !c.fullOnly {
+			exhaustive := measure(c, w, repro.ReductionNone)
+			if exhaustive.Error == "" && reduced.Error == "" && reduced.Schedules > 0 {
+				reduced.ReductionFactor = float64(exhaustive.Schedules) / float64(reduced.Schedules)
+			}
+			rep.Entries = append(rep.Entries, exhaustive)
+		} else if c.analytic > 0 && reduced.Error == "" && reduced.Schedules > 0 {
+			reduced.ReductionFactor = float64(c.analytic) / float64(reduced.Schedules)
+		}
+		rep.Entries = append(rep.Entries, reduced)
+		fmt.Printf("  %-18s n=%d %-12s %8d schedules  %8.0f runs/s  factor %.0fx\n",
+			c.name, c.n, reduced.Reduction, reduced.Schedules, reduced.RunsPerSec, reduced.ReductionFactor)
+	}
+	// Any failed measurement — exhaustive or reduced — fails the run, so
+	// CI's bench step gates on it rather than burying it in the artifact.
+	failed := false
+	for _, e := range rep.Entries {
+		if e.Error != "" {
+			fmt.Fprintf(os.Stderr, "gsbbench: %s (%s): %s\n", e.Name, e.Reduction, e.Error)
+			failed = true
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "gsbbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "gsbbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+	if failed {
+		os.Exit(1)
+	}
+}

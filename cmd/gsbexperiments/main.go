@@ -17,6 +17,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "run the larger, slower sweeps")
 	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS)")
+	por := flag.Bool("por", false, "partial-order reduction for the exhaustive exploration experiment (one schedule per commuting-step class)")
 	flag.Parse()
 
 	fmt.Println("== Table 1: kernels of the <6,3,-,-> family ==")
@@ -45,7 +46,12 @@ func main() {
 	if *full {
 		crashRuns = 2000
 	}
-	exploreRows, err := repro.ExploreExperiment(exploreNs, *workers, crashRuns)
+	reduction := repro.ReductionNone
+	if *por {
+		reduction = repro.ReductionSleepSets
+		exploreNs = append(exploreNs, 4) // reachable only with reduction
+	}
+	exploreRows, err := repro.ExploreExperiment(exploreNs, *workers, crashRuns, reduction)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
 		os.Exit(1)

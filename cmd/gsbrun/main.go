@@ -8,7 +8,12 @@
 // Usage:
 //
 //	gsbrun [-protocol slot-renaming] [-n 6] [-seed 1] [-crash 0.02] [-runs 1]
-//	gsbrun -explore [-workers 8] [-maxruns 1000000] [-protocol slot-renaming] [-n 4]
+//	gsbrun -explore [-por] [-workers 8] [-maxruns 1000000] [-protocol slot-renaming] [-n 4]
+//
+// -por enables partial-order reduction: the exploration executes one
+// schedule per equivalence class of commuting shared-memory steps (ops on
+// distinct objects, and read-only pairs on the same object, commute)
+// instead of every interleaving, with identical verdicts.
 //
 // Protocols:
 //
@@ -25,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro"
@@ -39,12 +45,21 @@ func main() {
 	trace := flag.Bool("trace", false, "print the step timeline of each run")
 	explore := flag.Bool("explore", false, "model-check the protocol over every failure-free schedule instead of sampling")
 	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS); only with -explore")
-	maxRuns := flag.Int("maxruns", 1<<20, "exploration schedule budget; only with -explore")
+	maxRuns := flag.Int("maxruns", 1<<20, "exploration run budget; only with -explore")
+	por := flag.Bool("por", false, "partial-order reduction: explore one schedule per commuting-step equivalence class; only with -explore")
+	porMemo := flag.Bool("por-memo", false, "like -por, additionally deduplicating trace classes by canonical hash; only with -explore")
 	flag.Parse()
 
 	if *n < 2 {
 		fmt.Fprintln(os.Stderr, "gsbrun: need n >= 2")
 		os.Exit(2)
+	}
+	reduction := repro.ReductionNone
+	if *por {
+		reduction = repro.ReductionSleepSets
+	}
+	if *porMemo {
+		reduction = repro.ReductionSleepMemo
 	}
 	if *explore {
 		// -runs defaults to 1 for seeded runs; for a crash sweep an
@@ -54,11 +69,20 @@ func main() {
 		if !flagSet("runs") && *crash > 0 {
 			sweepRuns = 1000
 		}
-		if err := exploreProtocol(*protocol, *n, *seed, *crash, *workers, *maxRuns, sweepRuns); err != nil {
+		// Probability/budget validation happens inside the exploration
+		// engine (ExploreOptions.Validate), so a bad -crash surfaces as
+		// an error here rather than a panic in a worker goroutine.
+		if err := exploreProtocol(*protocol, *n, *seed, *crash, *workers, *maxRuns, sweepRuns, reduction); err != nil {
 			fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if math.IsNaN(*crash) || *crash < 0 || *crash > 1 {
+		// The seeded-run path constructs the crash policy directly, so
+		// validate here; the constructor panics on a bad probability.
+		fmt.Fprintf(os.Stderr, "gsbrun: -crash %v outside [0, 1]\n", *crash)
+		os.Exit(2)
 	}
 	for s := *seed; s < *seed+int64(*runs); s++ {
 		if err := runOnce(*protocol, *n, s, *crash, *trace); err != nil {
@@ -116,14 +140,19 @@ func selectProtocol(protocol string, n int, seed int64) (repro.Spec, func(n int)
 }
 
 // exploreProtocol model-checks the protocol: exhaustively over every
-// failure-free schedule, or as a randomized crash sweep when crash > 0.
-func exploreProtocol(protocol string, n int, seed int64, crash float64, workers, maxRuns, runs int) error {
+// failure-free schedule (one representative per commuting-step
+// equivalence class under -por), or as a randomized crash sweep when
+// crash > 0.
+func exploreProtocol(protocol string, n int, seed int64, crash float64, workers, maxRuns, runs int, reduction repro.Reduction) error {
 	spec, build, err := selectProtocol(protocol, n, seed)
 	if err != nil {
 		return err
 	}
-	opts := repro.ExploreOptions{Workers: workers, MaxRuns: maxRuns, Seed: seed}
+	opts := repro.ExploreOptions{Workers: workers, MaxRuns: maxRuns, Seed: seed, Reduction: reduction}
 	mode := "every failure-free schedule"
+	if reduction != repro.ReductionNone {
+		mode = fmt.Sprintf("every failure-free schedule (%v reduction)", reduction)
+	}
 	if crash > 0 {
 		if runs < 1 {
 			return fmt.Errorf("crash sweep needs -runs >= 1, got %d", runs)

@@ -58,8 +58,20 @@ type (
 	// RunResult records outputs, crashes and the schedule of a run.
 	RunResult = sched.Result
 	// ExploreOptions configures the parallel exploration engine: worker
-	// count, run/step budgets, and the crash-injection sweep mode.
+	// count, run/step budgets, the crash-injection sweep mode, and the
+	// partial-order reduction.
 	ExploreOptions = sched.ExploreOptions
+	// Reduction selects the partial-order reduction applied to
+	// exhaustive exploration (ReductionNone, ReductionSleepSets,
+	// ReductionSleepMemo).
+	Reduction = sched.Reduction
+)
+
+// Partial-order reduction levels (ExploreOptions.Reduction).
+const (
+	ReductionNone      = sched.ReductionNone
+	ReductionSleepSets = sched.ReductionSleepSets
+	ReductionSleepMemo = sched.ReductionSleepMemo
 )
 
 var (
@@ -80,6 +92,12 @@ var (
 	ExploreSequential = sched.ExploreSequential
 	// ErrExplorationBudget reports a schedule tree larger than MaxRuns.
 	ErrExplorationBudget = sched.ErrExplorationBudget
+	// ErrInvalidExploreOptions reports semantically unusable
+	// ExploreOptions (e.g. a crash probability outside [0,1]).
+	ErrInvalidExploreOptions = sched.ErrInvalidOptions
+	// OpIndependent is the commutation relation partial-order reduction
+	// derives from the "<object>.<kind>" op-naming contract.
+	OpIndependent = sched.OpIndependent
 	// Timeline and ScheduleSummary render recorded schedules for humans.
 	Timeline        = sched.Timeline
 	ScheduleSummary = sched.Summary

@@ -180,22 +180,26 @@ func Figure2Text(rows []Figure2Row) string {
 
 // ExploreRow is one line of the exhaustive-exploration experiment: the
 // Figure 2 protocol at size n model-checked over every failure-free
-// schedule, plus a randomized crash-injection sweep, both on the parallel
-// exploration engine.
+// schedule (or every Mazurkiewicz trace class under partial-order
+// reduction), plus a randomized crash-injection sweep, both on the
+// parallel exploration engine.
 type ExploreRow struct {
 	N         int
-	Schedules int // distinct failure-free schedules, all verified
+	Schedules int // failure-free schedules (trace classes under POR), all verified
 	CrashRuns int // randomized crash-injected runs, all verified
 	Workers   int
+	Reduction sched.Reduction
 }
 
 // ExploreExperiment model-checks the Figure 2 algorithm ((n+1)-renaming
 // from the (n-1)-slot task) against its task for each n: exhaustively
-// over the complete failure-free schedule tree, then under crashRuns
-// seeded crash-injection runs, using workers exploration goroutines
-// (0 means GOMAXPROCS). This upgrades the seeded sampling of
-// Figure2Experiment to a proof over every adversary schedule at small n.
-func ExploreExperiment(ns []int, workers, crashRuns int) ([]ExploreRow, error) {
+// over the complete failure-free schedule tree — pruned to one schedule
+// per commuting-step equivalence class when reduction is enabled — then
+// under crashRuns seeded crash-injection runs, using workers exploration
+// goroutines (0 means GOMAXPROCS). This upgrades the seeded sampling of
+// Figure2Experiment to a proof over every adversary schedule at small n;
+// partial-order reduction extends the reachable n.
+func ExploreExperiment(ns []int, workers, crashRuns int, reduction sched.Reduction) ([]ExploreRow, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -205,18 +209,19 @@ func ExploreExperiment(ns []int, workers, crashRuns int) ([]ExploreRow, error) {
 		build := func(n int) tasks.Solver {
 			return tasks.NewSlotRenaming("F2", n, mem.SlotBox("KS", n, n-1, 1))
 		}
-		opts := sched.ExploreOptions{Workers: workers}
+		opts := sched.ExploreOptions{Workers: workers, Reduction: reduction}
 		schedules, err := tasks.ExploreVerified(context.Background(), spec, sched.DefaultIDs(n), opts, build)
 		if err != nil {
 			return nil, fmt.Errorf("harness: exhaustive exploration n=%d: %w", n, err)
 		}
 		opts.CrashRuns = crashRuns
 		opts.CrashProb = 0.05
+		opts.Reduction = sched.ReductionNone // sweep mode ignores reduction
 		sweeps, err := tasks.ExploreVerified(context.Background(), spec, sched.DefaultIDs(n), opts, build)
 		if err != nil {
 			return nil, fmt.Errorf("harness: crash sweep n=%d: %w", n, err)
 		}
-		rows = append(rows, ExploreRow{N: n, Schedules: schedules, CrashRuns: sweeps, Workers: opts.Workers})
+		rows = append(rows, ExploreRow{N: n, Schedules: schedules, CrashRuns: sweeps, Workers: opts.Workers, Reduction: reduction})
 	}
 	return rows, nil
 }
@@ -225,9 +230,9 @@ func ExploreExperiment(ns []int, workers, crashRuns int) ([]ExploreRow, error) {
 func ExploreText(rows []ExploreRow) string {
 	var b strings.Builder
 	b.WriteString("Exhaustive exploration: Figure 2 verified under every failure-free schedule\n")
-	b.WriteString("    n  schedules  crash-runs  workers\n")
+	b.WriteString("    n  schedules  crash-runs  workers  reduction\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "  %3d  %9d  %10d  %7d\n", r.N, r.Schedules, r.CrashRuns, r.Workers)
+		fmt.Fprintf(&b, "  %3d  %9d  %10d  %7d  %s\n", r.N, r.Schedules, r.CrashRuns, r.Workers, r.Reduction)
 	}
 	return b.String()
 }

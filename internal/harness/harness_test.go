@@ -3,6 +3,8 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/sched"
 )
 
 func TestTable1Golden(t *testing.T) {
@@ -154,7 +156,7 @@ func TestGCDTableText(t *testing.T) {
 }
 
 func TestExploreExperiment(t *testing.T) {
-	rows, err := ExploreExperiment([]int{2}, 2, 50)
+	rows, err := ExploreExperiment([]int{2}, 2, 50, sched.ReductionNone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,5 +178,26 @@ func TestExploreExperiment(t *testing.T) {
 	text := ExploreText(rows)
 	if !strings.Contains(text, "every failure-free schedule") || !strings.Contains(text, "70") {
 		t.Errorf("ExploreText malformed:\n%s", text)
+	}
+}
+
+func TestExploreExperimentPOR(t *testing.T) {
+	exhaustive, err := ExploreExperiment([]int{2, 3}, 2, 20, sched.ReductionNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := ExploreExperiment([]int{2, 3}, 2, 20, sched.ReductionSleepSets)
+	if err != nil {
+		t.Fatalf("reduced exploration changed the verdict: %v", err)
+	}
+	for i := range reduced {
+		if reduced[i].Schedules >= exhaustive[i].Schedules {
+			t.Errorf("n=%d: reduction explored %d schedules, want fewer than %d",
+				reduced[i].N, reduced[i].Schedules, exhaustive[i].Schedules)
+		}
+	}
+	text := ExploreText(reduced)
+	if !strings.Contains(text, "sleep-sets") {
+		t.Errorf("ExploreText missing the reduction column:\n%s", text)
 	}
 }

@@ -23,17 +23,21 @@ func ExploreCrashes(ctx context.Context, n int, ids []int, opts ExploreOptions, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
 	opts = opts.withDefaults(n)
 	if opts.CrashRuns <= 0 {
 		return 0, fmt.Errorf("sched: crash sweep needs CrashRuns > 0 (got %d)", opts.CrashRuns)
 	}
 
 	var (
-		next    atomic.Int64
-		mu      sync.Mutex
-		bestIdx = -1
-		bestErr error
-		wg      sync.WaitGroup
+		next      atomic.Int64
+		completed atomic.Int64 // runs actually executed to completion
+		mu        sync.Mutex
+		bestIdx   = -1
+		bestErr   error
+		wg        sync.WaitGroup
 	)
 	record := func(i int, err error) {
 		mu.Lock()
@@ -69,6 +73,7 @@ func ExploreCrashes(ctx context.Context, n int, ids []int, opts ExploreOptions, 
 				policy := NewRandomCrash(crashSweepSeed(opts.Seed, i), opts.CrashProb, opts.MaxCrashes)
 				runner := NewRunner(n, ids, policy, WithMaxSteps(opts.MaxSteps))
 				res, err := runner.Run(build())
+				completed.Add(1)
 				if err != nil {
 					record(i, fmt.Errorf("sched: crash sweep run %d (seed %d): %w", i, crashSweepSeed(opts.Seed, i), err))
 					continue
@@ -90,11 +95,10 @@ func ExploreCrashes(ctx context.Context, n int, ids []int, opts ExploreOptions, 
 		return bestIdx + 1, bestErr
 	}
 	if err := ctx.Err(); err != nil {
-		completed := int(next.Load())
-		if completed > opts.CrashRuns {
-			completed = opts.CrashRuns
-		}
-		return completed, fmt.Errorf("sched: crash sweep canceled: %w", err)
+		// Report runs that actually executed, not claimed run indices:
+		// a worker that claimed an index and then saw the cancellation
+		// (or the i >= CrashRuns sentinel) exited without running it.
+		return int(completed.Load()), fmt.Errorf("sched: crash sweep canceled: %w", err)
 	}
 	return opts.CrashRuns, nil
 }

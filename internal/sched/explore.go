@@ -57,6 +57,19 @@ func (e *explorePolicy) Next(pending []int, _ int) Decision {
 	return Decision{Proc: pick}
 }
 
+// runChoices implements explorerPolicy.
+func (e *explorePolicy) runChoices() []int { return e.choices }
+
+// branchItems implements explorerPolicy (exhaustive mode: no sleep sets).
+func (e *explorePolicy) branchItems() []frontierItem {
+	bs := e.branches()
+	out := make([]frontierItem, len(bs))
+	for i, b := range bs {
+		out[i] = frontierItem{choices: b}
+	}
+	return out
+}
+
 // branches returns the unexplored sibling prefixes of a completed (or
 // aborted) run: for every decision point at or past the replayed prefix,
 // one new prefix per pending process larger than the one chosen (the

@@ -2,7 +2,9 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -64,11 +66,54 @@ type ExploreOptions struct {
 	// so the sweep is reproducible and the first failing run (smallest
 	// run index) is interleaving-independent.
 	CrashRuns int
-	// CrashProb is the per-decision crash probability in sweep mode.
+	// CrashProb is the per-decision crash probability in sweep mode;
+	// it must lie in [0, 1] (Validate).
 	CrashProb float64
 	// MaxCrashes caps injected crashes per run; <= 0 means n-1 (the
 	// wait-free maximum).
 	MaxCrashes int
+
+	// Reduction selects the partial-order reduction applied to
+	// exhaustive exploration (see the Reduction constants). With
+	// reduction on, the engine executes one schedule per Mazurkiewicz
+	// trace class — the class's lexicographically smallest member —
+	// instead of every interleaving, and the returned count is the
+	// number of classes. Verdicts and the lex-min violation report are
+	// unchanged; checks must not depend on the relative order of
+	// commuting steps in Result.Schedule (true of every property in
+	// this repository, which inspect outputs and crash flags only).
+	// MaxRuns then bounds executed runs, which include pruned probe
+	// runs, not only counted schedules. Crash sweep mode ignores it.
+	Reduction Reduction
+}
+
+// ErrInvalidOptions reports semantically unusable ExploreOptions; Explore
+// and ExploreCrashes return it (wrapped) instead of executing anything,
+// so a bad CrashProb surfaces as an error rather than a panic inside a
+// worker goroutine.
+var ErrInvalidOptions = errors.New("sched: invalid exploration options")
+
+// Validate checks the option fields whose bad values would otherwise
+// surface only mid-exploration: a crash probability outside [0, 1] and
+// negative budgets. Zero-valued fields mean "use the default" and are
+// always valid.
+func (o ExploreOptions) Validate() error {
+	if o.MaxRuns < 0 {
+		return fmt.Errorf("%w: MaxRuns %d is negative (0 means the default budget)", ErrInvalidOptions, o.MaxRuns)
+	}
+	if o.MaxSteps < 0 {
+		return fmt.Errorf("%w: MaxSteps %d is negative (0 means the runner default)", ErrInvalidOptions, o.MaxSteps)
+	}
+	if o.CrashRuns < 0 {
+		return fmt.Errorf("%w: CrashRuns %d is negative (0 disables the crash sweep)", ErrInvalidOptions, o.CrashRuns)
+	}
+	if math.IsNaN(o.CrashProb) || o.CrashProb < 0 || o.CrashProb > 1 {
+		return fmt.Errorf("%w: CrashProb %v outside [0, 1]", ErrInvalidOptions, o.CrashProb)
+	}
+	if !o.Reduction.valid() {
+		return fmt.Errorf("%w: unknown Reduction(%d)", ErrInvalidOptions, int(o.Reduction))
+	}
+	return nil
 }
 
 func (o ExploreOptions) withDefaults(n int) ExploreOptions {
@@ -94,13 +139,19 @@ func (o ExploreOptions) withDefaults(n int) ExploreOptions {
 // instance. It returns the number of distinct schedules explored; on a
 // property violation the error names the lexicographically smallest
 // violating choice sequence and the count is the number of schedules up
-// to and including it (both independent of worker interleaving).
+// to and including it (both independent of worker interleaving). With
+// opts.Reduction enabled the walk executes one schedule per commuting-
+// step equivalence class (the class's lex-min member) and counts
+// classes; verdict and violation report are unchanged.
 //
 // ctx cancellation aborts the exploration early; a nil ctx means
 // context.Background().
 func Explore(ctx context.Context, n int, ids []int, opts ExploreOptions, build func() Body, check func(*Result) error) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return 0, err
 	}
 	opts = opts.withDefaults(n)
 	if opts.CrashRuns > 0 {
@@ -129,7 +180,13 @@ func Explore(ctx context.Context, n int, ids []int, opts ExploreOptions, build f
 		return count, err
 	}
 	if e.budgetHit.Load() {
-		return opts.MaxRuns, fmt.Errorf("%w (after %d runs)", ErrExplorationBudget, opts.MaxRuns)
+		count := opts.MaxRuns
+		if opts.Reduction != ReductionNone {
+			// Under reduction the claimed budget slots include pruned
+			// probe runs; report only the schedules actually verified.
+			count = int(e.completed.Load())
+		}
+		return count, fmt.Errorf("%w (after %d runs)", ErrExplorationBudget, opts.MaxRuns)
 	}
 	if err := ctx.Err(); err != nil {
 		return int(e.completed.Load()), fmt.Errorf("sched: exploration canceled: %w", err)
@@ -144,13 +201,31 @@ type exploreFailure struct {
 	err     error
 }
 
+// frontierItem is one unit of exploration work: re-execute the run
+// scripted by choices and push its unexplored siblings. sleep is the
+// sleep set at the node reached after choices (partial-order reduction
+// only; nil when ExploreOptions.Reduction is ReductionNone).
+type frontierItem struct {
+	choices []int
+	sleep   []int
+}
+
+// explorerPolicy is what the engine needs from a prefix-replay policy:
+// schedule the run, then report the choice sequence it took and the
+// sibling prefixes left to explore.
+type explorerPolicy interface {
+	Policy
+	runChoices() []int
+	branchItems() []frontierItem
+}
+
 // exploreShard is one lane of the frontier. Its owner pushes and pops at
 // the tail (depth-first, cache-warm deep prefixes); thieves take from the
 // head, where the shallowest prefixes — the largest unexplored subtrees —
 // sit, so one steal yields a meaningful chunk of work.
 type exploreShard struct {
 	mu    sync.Mutex
-	items [][]int
+	items []frontierItem
 }
 
 type explorer struct {
@@ -172,6 +247,9 @@ type explorer struct {
 
 	bound []int // fixed pruning bound for the counting pass; nil during discovery
 
+	indep Independence // commutation oracle; nil without reduction
+	memo  *traceMemo   // canonical-trace dedupe; nil unless ReductionSleepMemo
+
 	mu   sync.Mutex
 	best *exploreFailure // lexicographically smallest failure seen
 }
@@ -185,12 +263,18 @@ func newExplorer(ctx context.Context, n int, ids []int, opts ExploreOptions, bui
 		check: check,
 		bound: bound,
 	}
+	if opts.Reduction != ReductionNone {
+		e.indep = OpIndependent
+	}
+	if opts.Reduction == ReductionSleepMemo {
+		e.memo = newTraceMemo()
+	}
 	e.ctx, e.cancel = context.WithCancel(ctx)
 	e.shards = make([]*exploreShard, opts.Workers)
 	for i := range e.shards {
 		e.shards[i] = &exploreShard{}
 	}
-	e.pushTo(0, []int{}) // the root prefix: the unconstrained run
+	e.pushTo(0, frontierItem{choices: []int{}}) // the root: the unconstrained run
 	return e
 }
 
@@ -216,9 +300,9 @@ func (e *explorer) worker(w int) {
 		if e.ctx.Err() != nil {
 			return
 		}
-		prefix, ok := e.popOwn(w)
+		item, ok := e.popOwn(w)
 		if !ok {
-			prefix, ok = e.steal(w, rng)
+			item, ok = e.steal(w, rng)
 		}
 		if !ok {
 			if e.pending.Load() == 0 {
@@ -233,32 +317,33 @@ func (e *explorer) worker(w int) {
 			continue
 		}
 		idle = 0
-		e.process(w, prefix)
+		e.process(w, item)
 		e.pending.Add(-1)
 	}
 }
 
-func (e *explorer) pushTo(w int, prefix []int) {
+func (e *explorer) pushTo(w int, item frontierItem) {
 	e.pending.Add(1)
 	s := e.shards[w]
 	s.mu.Lock()
-	s.items = append(s.items, prefix)
+	s.items = append(s.items, item)
 	s.mu.Unlock()
 }
 
-func (e *explorer) popOwn(w int) ([]int, bool) {
+func (e *explorer) popOwn(w int) (frontierItem, bool) {
 	s := e.shards[w]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.items) == 0 {
-		return nil, false
+		return frontierItem{}, false
 	}
 	it := s.items[len(s.items)-1]
+	s.items[len(s.items)-1] = frontierItem{} // release the slot for GC
 	s.items = s.items[:len(s.items)-1]
 	return it, true
 }
 
-func (e *explorer) steal(w int, rng *rand.Rand) ([]int, bool) {
+func (e *explorer) steal(w int, rng *rand.Rand) (frontierItem, bool) {
 	start := rng.Intn(len(e.shards))
 	for k := 0; k < len(e.shards); k++ {
 		v := (start + k) % len(e.shards)
@@ -269,13 +354,21 @@ func (e *explorer) steal(w int, rng *rand.Rand) ([]int, bool) {
 		s.mu.Lock()
 		if len(s.items) > 0 {
 			it := s.items[0]
+			// Re-slicing from the head keeps the backing array's dead
+			// prefix reachable for as long as the slice lives; on long
+			// explorations that retained every stolen prefix. Zero the
+			// slot, and drop the whole array once the lane drains.
+			s.items[0] = frontierItem{}
 			s.items = s.items[1:]
+			if len(s.items) == 0 {
+				s.items = nil
+			}
 			s.mu.Unlock()
 			return it, true
 		}
 		s.mu.Unlock()
 	}
-	return nil, false
+	return frontierItem{}, false
 }
 
 // pruneBound returns the current lexicographic pruning bound: the fixed
@@ -301,10 +394,10 @@ func (e *explorer) recordFailure(choices []int, err error) {
 	}
 }
 
-// process executes the run scripted by prefix and pushes its unexplored
-// sibling prefixes.
-func (e *explorer) process(w int, prefix []int) {
-	if b := e.pruneBound(); b != nil && !prefixViable(prefix, b) {
+// process executes the run scripted by item's prefix and pushes its
+// unexplored sibling prefixes.
+func (e *explorer) process(w int, item frontierItem) {
+	if b := e.pruneBound(); b != nil && !prefixViable(item.choices, b) {
 		return
 	}
 	if e.claimed.Add(1) > int64(e.opts.MaxRuns) {
@@ -313,34 +406,58 @@ func (e *explorer) process(w int, prefix []int) {
 		return
 	}
 
-	policy := &explorePolicy{prefix: prefix}
+	var policy explorerPolicy
+	if e.opts.Reduction != ReductionNone {
+		policy = &porPolicy{indep: e.indep, prefix: item.choices, sleep0: item.sleep}
+	} else {
+		policy = &explorePolicy{prefix: item.choices}
+	}
 	runner := NewRunner(e.n, e.ids, policy, WithMaxSteps(e.opts.MaxSteps))
 	res, err := runner.Run(e.build())
 	switch {
+	case errors.Is(err, ErrRunAborted):
+		// A sleep-set probe: every continuation of this run is
+		// equivalent to a schedule explored under a smaller prefix. It
+		// consumed a run-budget slot but counts as no schedule; its
+		// pre-abort decision points still seed sibling branches below.
 	case err != nil:
 		if e.bound == nil {
-			e.recordFailure(policy.choices, fmt.Errorf("sched: exploration run with prefix %v: %w", prefix, err))
+			e.recordFailure(policy.runChoices(), fmt.Errorf("sched: exploration run with prefix %v: %w", item.choices, err))
 		}
 	case e.bound != nil:
-		if lexLess(policy.choices, e.bound) {
+		if lexLess(policy.runChoices(), e.bound) && e.admit(res) {
 			e.countBelow.Add(1)
 		}
 	default:
-		e.completed.Add(1)
+		if e.admit(res) {
+			e.completed.Add(1)
+		}
 		if e.check != nil {
+			// Checked even when the memo already saw the trace class, so
+			// a hash collision can merge counts but never hide a
+			// violation.
 			if cerr := e.check(res); cerr != nil {
-				e.recordFailure(policy.choices, fmt.Errorf("sched: schedule %v violates property: %w", policy.choices, cerr))
+				e.recordFailure(policy.runChoices(), fmt.Errorf("sched: schedule %v violates property: %w", policy.runChoices(), cerr))
 			}
 		}
 	}
 
 	b := e.pruneBound()
-	for _, branch := range policy.branches() {
-		if b != nil && !prefixViable(branch, b) {
+	for _, branch := range policy.branchItems() {
+		if b != nil && !prefixViable(branch.choices, b) {
 			continue
 		}
 		e.pushTo(w, branch)
 	}
+}
+
+// admit reports whether the completed run should be counted: always,
+// unless the canonical-trace memo has already counted an equivalent run.
+func (e *explorer) admit(res *Result) bool {
+	if e.memo == nil {
+		return true
+	}
+	return e.memo.admit(canonicalTraceHash(res.Schedule, e.indep))
 }
 
 // lexLess reports whether choice sequence a precedes b lexicographically

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file derives the independence (commutation) relation that drives
+// partial-order reduction from the op-naming contract of package mem:
+// every shared-memory operation is labeled "<object>.<kind>" (for example
+// "A.read", "KS.invoke", "T.tas"), and the decide step — the write to the
+// process's own write-once output register — is labeled "decide". Two
+// pending steps of distinct processes commute when they touch distinct
+// objects, or when both only read the same object; swapping two commuting
+// adjacent steps changes neither the final shared state nor any value
+// returned to a process, so the two schedules are equivalent in the
+// Mazurkiewicz-trace sense and only one representative needs executing.
+//
+// Labels that do not follow the contract (no '.' separator, e.g. the bare
+// "noop"/"read"/"write" labels some tests use) are treated as touching one
+// global unknown object with writes — i.e. dependent on everything — so
+// reduction degrades to exhaustive exploration instead of becoming
+// unsound.
+
+// Independence reports whether the pending operations opA of process
+// procA and opB of process procB (procA != procB) commute: executing them
+// in either order yields the same shared state and the same return
+// values. It must be symmetric and sound — claiming independence for two
+// conflicting steps makes partial-order reduction skip real schedules.
+type Independence func(procA int, opA string, procB int, opB string) bool
+
+// readOnlyKinds are the op-name suffixes of operations that never mutate
+// their object; any two of them on the same object commute.
+var readOnlyKinds = map[string]bool{
+	"read":     true,
+	"snapshot": true,
+}
+
+// opFootprint parses an operation label into the object it touches.
+// perProc marks labels (currently only "decide") whose object is private
+// to the invoking process, so that invocations by distinct processes
+// never conflict. known is false for labels outside the naming contract,
+// which callers must treat as conflicting with everything.
+func opFootprint(op string) (object string, perProc, readOnly, known bool) {
+	if op == "decide" {
+		return "decide", true, false, true
+	}
+	i := strings.LastIndexByte(op, '.')
+	if i < 0 {
+		return "", false, false, false
+	}
+	return op[:i], false, readOnlyKinds[op[i+1:]], true
+}
+
+// OpIndependent is the Independence relation used by ExploreOptions.
+// Reduction: steps of distinct processes commute iff they touch distinct
+// objects (per the "<object>.<kind>" naming contract, with "decide"
+// touching a per-process output register) or are both read-only
+// operations on the same object. Unrecognized labels conflict with
+// everything (sound fallback).
+func OpIndependent(procA int, opA string, procB int, opB string) bool {
+	if procA == procB {
+		return false
+	}
+	objA, perA, roA, okA := opFootprint(opA)
+	objB, perB, roB, okB := opFootprint(opB)
+	if !okA || !okB {
+		return false
+	}
+	if perA != perB {
+		return true // a per-process object never aliases a named object
+	}
+	if perA {
+		return true // same per-process label, distinct processes
+	}
+	if objA != objB {
+		return true
+	}
+	return roA && roB
+}
+
+// dependentStep reports whether recorded steps a and b conflict: same
+// process (program order) or non-commuting operations.
+func dependentStep(a, b Step, indep Independence) bool {
+	if a.Proc == b.Proc {
+		return true
+	}
+	return !indep(a.Proc, a.Op, b.Proc, b.Op)
+}
+
+// canonicalTraceHash hashes the Foata normal form of a completed run's
+// step sequence under indep. Equivalent schedules — those differing only
+// by swaps of adjacent independent steps — have identical normal forms,
+// so the hash identifies the run's Mazurkiewicz trace class (and, for the
+// deterministic protocols this engine executes, the final register
+// contents, which are a function of the class). The memo layer of the
+// reduction uses it to avoid double-counting a class.
+func canonicalTraceHash(schedule []Step, indep Independence) uint64 {
+	// Foata normal form: place each step in the level just below the
+	// deepest level holding a step it depends on. Steps within a level
+	// are pairwise independent, hence from distinct processes, and are
+	// canonically ordered by process index.
+	var levels [][]Step
+	for _, s := range schedule {
+		d := 0
+		for l := len(levels); l >= 1; l-- {
+			if levelDepends(levels[l-1], s, indep) {
+				d = l
+				break
+			}
+		}
+		if d == len(levels) {
+			levels = append(levels, nil)
+		}
+		levels[d] = append(levels[d], s)
+	}
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, level := range levels {
+		sort.Slice(level, func(i, j int) bool { return level[i].Proc < level[j].Proc })
+		for _, s := range level {
+			binary.LittleEndian.PutUint32(buf[:], uint32(s.Proc))
+			h.Write(buf[:])
+			h.Write([]byte(s.Op))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}
+
+func levelDepends(level []Step, s Step, indep Independence) bool {
+	for _, u := range level {
+		if dependentStep(u, s, indep) {
+			return true
+		}
+	}
+	return false
+}
+
+// traceMemo is the optional second reduction layer: a concurrent set of
+// canonical trace hashes. The count it yields — the number of distinct
+// classes — is independent of which worker inserts a class first.
+type traceMemo struct {
+	mu   sync.Mutex
+	seen map[uint64]struct{}
+}
+
+func newTraceMemo() *traceMemo {
+	return &traceMemo{seen: make(map[uint64]struct{})}
+}
+
+// admit records h and reports whether it was new.
+func (m *traceMemo) admit(h uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.seen[h]; dup {
+		return false
+	}
+	m.seen[h] = struct{}{}
+	return true
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -10,6 +11,12 @@ import (
 type Decision struct {
 	Proc  int
 	Crash bool
+	// Abort discards the rest of the run: the runner crashes every
+	// remaining process to unwind their goroutines and Run returns
+	// ErrRunAborted. The partial-order-reduction policy uses it to cut
+	// short runs whose every continuation is provably explored
+	// elsewhere. Proc and Crash are ignored when Abort is set.
+	Abort bool
 }
 
 // Policy chooses the next scheduling decision. pending is the sorted list
@@ -18,6 +25,19 @@ type Decision struct {
 // of their own state so that runs are reproducible.
 type Policy interface {
 	Next(pending []int, stepNo int) Decision
+}
+
+// OpAwarePolicy is an optional Policy extension. When a policy implements
+// it, the runner calls NextOps instead of Next, additionally passing the
+// label of each pending operation: ops[i] names the operation process
+// pending[i] is blocked on (the name given to Proc.Exec, e.g. "A.read").
+// A process's requested operation cannot change while it is pending, so
+// the labels are exactly the steps the adversary is choosing among.
+// Partial-order reduction uses them to decide which pending steps
+// commute.
+type OpAwarePolicy interface {
+	Policy
+	NextOps(pending []int, ops []string, stepNo int) Decision
 }
 
 // RoundRobin grants steps to pending processes in cyclic index order.
@@ -68,7 +88,7 @@ type RandomCrash struct {
 
 // NewRandomCrash returns a seeded random policy with crash injection.
 func NewRandomCrash(seed int64, crashProb float64, maxCrashes int) *RandomCrash {
-	if crashProb < 0 || crashProb > 1 {
+	if math.IsNaN(crashProb) || crashProb < 0 || crashProb > 1 {
 		panic(fmt.Sprintf("sched: crashProb %v outside [0,1]", crashProb))
 	}
 	return &RandomCrash{
@@ -150,7 +170,12 @@ type CrashAt struct {
 	crashed bool
 }
 
-// Next implements Policy.
+// Next implements Policy. The crash guard runs before the inner policy
+// is consulted: once proc has taken StepsBeforeCrash steps, the first
+// decision at which it is pending again crashes it, so the inner policy
+// can never over-grant the target — no steering of the inner policy is
+// needed. (An inner policy that itself crashes proc early, e.g.
+// RandomCrash, simply preempts the scripted crash.)
 func (c *CrashAt) Next(pending []int, stepNo int) Decision {
 	if !c.crashed {
 		for _, p := range pending {
@@ -161,10 +186,12 @@ func (c *CrashAt) Next(pending []int, stepNo int) Decision {
 		}
 	}
 	d := c.Inner.Next(pending, stepNo)
-	// Steer the inner policy away from the crash target once it is due to
-	// crash; otherwise count its granted steps.
-	if d.Proc == c.Proc && !c.crashed {
-		c.taken++
+	if d.Proc == c.Proc {
+		if d.Crash {
+			c.crashed = true // the inner policy crashed the target itself
+		} else if !c.crashed {
+			c.taken++
+		}
 	}
 	return d
 }

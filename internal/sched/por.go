@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the partial-order-reduction layer of the exploration
+// engine: a sleep-set walk of the schedule tree (Godefroid-style, adapted
+// to stateless prefix re-execution) plus an optional canonical-trace memo
+// (independence.go).
+//
+// The exhaustive tree branches at every decision point on every pending
+// process, so k mutually commuting steps are re-explored under all k!
+// orders. Sleep sets prune exactly those re-explorations: after the
+// engine explores the subtree that schedules process p at a node, the
+// sibling subtrees carry p in their sleep set — "p's pending step is
+// covered elsewhere; do not schedule it until some step that conflicts
+// with it executes". A schedule is therefore pruned only when an
+// equivalent schedule (same Mazurkiewicz trace) is explored under a
+// lexicographically smaller choice sequence, which preserves both the
+// engine's verdict and its lex-min violation report.
+//
+// A descent can reach a node where every pending process is asleep; the
+// runs that continue from it are all covered elsewhere, so the policy
+// aborts the run (Decision.Abort -> ErrRunAborted). Aborted probes count
+// against MaxRuns — they did execute — but are not schedules.
+
+// Reduction selects the partial-order reduction applied by Explore to
+// exhaustive (failure-free) exploration. Crash sweep mode ignores it.
+type Reduction int
+
+const (
+	// ReductionNone explores the schedule tree exhaustively (the
+	// default; one run per interleaving).
+	ReductionNone Reduction = iota
+	// ReductionSleepSets prunes the frontier with sleep sets over the
+	// OpIndependent commutation relation: one run per Mazurkiewicz
+	// trace class, the class's lexicographically smallest member.
+	ReductionSleepSets
+	// ReductionSleepMemo is ReductionSleepSets plus a canonical-trace
+	// memo that refuses to count a trace class twice (a cross-check
+	// layer; with sound sleep sets it changes no counts).
+	ReductionSleepMemo
+)
+
+// String implements fmt.Stringer.
+func (r Reduction) String() string {
+	switch r {
+	case ReductionNone:
+		return "none"
+	case ReductionSleepSets:
+		return "sleep-sets"
+	case ReductionSleepMemo:
+		return "sleep-sets+memo"
+	default:
+		return fmt.Sprintf("Reduction(%d)", int(r))
+	}
+}
+
+func (r Reduction) valid() bool {
+	return r >= ReductionNone && r <= ReductionSleepMemo
+}
+
+// ErrRunAborted is returned by Runner.Run when the policy discards the
+// rest of a run via Decision.Abort. The exploration engine treats such
+// runs as pruned probes: they consume run budget but are not schedules.
+var ErrRunAborted = errors.New("sched: run aborted by the scheduling policy")
+
+// porPolicy is the sleep-set variant of explorePolicy: it replays a fixed
+// prefix of choices, then descends picking the smallest pending process
+// that is not asleep, maintaining the sleep set across decisions and
+// recording everything branch generation needs. It implements
+// OpAwarePolicy to learn the label of every pending operation; without
+// labels (plain Next) all steps are treated as conflicting and the walk
+// degrades to the exhaustive one.
+type porPolicy struct {
+	indep  Independence
+	prefix []int
+	sleep0 []int // sleep set at the node reached after prefix
+
+	choices []int
+	// Recorded per post-prefix decision, aligned with
+	// choices[len(prefix):]:
+	pendings [][]int    // pending process set (sorted)
+	opss     [][]string // pending op labels, aligned with pendings
+	sleeps   [][]int    // sleep set at the node (sorted)
+
+	cur     []int // current sleep set during the descent
+	started bool
+	aborted bool
+}
+
+// Next implements Policy (no op labels: conservative, no reduction).
+func (e *porPolicy) Next(pending []int, stepNo int) Decision {
+	return e.decide(pending, nil, stepNo)
+}
+
+// NextOps implements OpAwarePolicy.
+func (e *porPolicy) NextOps(pending []int, ops []string, stepNo int) Decision {
+	return e.decide(pending, ops, stepNo)
+}
+
+func (e *porPolicy) decide(pending []int, ops []string, _ int) Decision {
+	step := len(e.choices)
+	if step < len(e.prefix) {
+		pick := e.prefix[step]
+		if !containsSorted(pending, pick) {
+			panic(fmt.Sprintf("sched: exploration prefix chose %d but pending is %v (non-deterministic protocol?)", pick, pending))
+		}
+		e.choices = append(e.choices, pick)
+		return Decision{Proc: pick}
+	}
+	if !e.started {
+		e.started = true
+		e.cur = append([]int(nil), e.sleep0...)
+	}
+	if ops == nil {
+		ops = make([]string, len(pending)) // unlabeled: conflicts with everything
+	}
+	// A sleeping process is blocked on its pending request, so it cannot
+	// leave the pending set; the intersection guards the invariant
+	// cur ⊆ pending rather than doing real work.
+	e.cur = intersectSorted(e.cur, pending)
+	allowed := subtractSorted(pending, e.cur)
+	if len(allowed) == 0 {
+		// Every pending step is covered by a subtree explored under a
+		// smaller choice sequence: discard the rest of the run.
+		e.aborted = true
+		return Decision{Abort: true}
+	}
+	pick := allowed[0]
+
+	e.pendings = append(e.pendings, append([]int(nil), pending...))
+	e.opss = append(e.opss, append([]string(nil), ops...))
+	e.sleeps = append(e.sleeps, append([]int(nil), e.cur...))
+	e.choices = append(e.choices, pick)
+
+	// Descend into the followed child: a process stays asleep only while
+	// it commutes with every step executed since it was put to sleep.
+	pickOp := ops[indexSorted(pending, pick)]
+	kept := e.cur[:0] // sleeps holds its own copy; reuse the backing array
+	for _, u := range e.cur {
+		if e.indep(u, ops[indexSorted(pending, u)], pick, pickOp) {
+			kept = append(kept, u)
+		}
+	}
+	e.cur = kept
+	return Decision{Proc: pick}
+}
+
+// branchItems returns the unexplored sibling prefixes with their sleep
+// sets: at every post-prefix decision, one child per pending process alt
+// that is larger than the chosen one and not asleep. The child explored
+// via alt sleeps on everything already asleep at the node plus every
+// allowed transition ordered before alt (they are explored in their own
+// subtrees first), filtered down to the transitions that commute with
+// alt — the ones whose pending step survives alt unchanged.
+func (e *porPolicy) branchItems() []frontierItem {
+	var out []frontierItem
+	for j := range e.pendings {
+		i := len(e.prefix) + j
+		pending, ops, sleep := e.pendings[j], e.opss[j], e.sleeps[j]
+		chosen := e.choices[i]
+		for ai, alt := range pending {
+			if alt <= chosen || containsSorted(sleep, alt) {
+				continue
+			}
+			altOp := ops[ai]
+			var childSleep []int
+			for ui, u := range pending {
+				if u == alt {
+					continue
+				}
+				if u > alt && !containsSorted(sleep, u) {
+					continue // explored after alt, not yet covered
+				}
+				if e.indep(u, ops[ui], alt, altOp) {
+					childSleep = append(childSleep, u)
+				}
+			}
+			branch := make([]int, i+1)
+			copy(branch, e.choices[:i])
+			branch[i] = alt
+			out = append(out, frontierItem{choices: branch, sleep: childSleep})
+		}
+	}
+	return out
+}
+
+// runChoices implements explorerPolicy.
+func (e *porPolicy) runChoices() []int { return e.choices }
+
+// containsSorted reports whether sorted slice s contains x.
+func containsSorted(s []int, x int) bool {
+	return indexSorted(s, x) >= 0
+}
+
+// indexSorted returns the index of x in sorted slice s, or -1. The
+// slices here are pending sets (a handful of process indexes), so a
+// linear scan beats binary search.
+func indexSorted(s []int, x int) int {
+	for i, v := range s {
+		if v == x {
+			return i
+		}
+		if v > x {
+			return -1
+		}
+	}
+	return -1
+}
+
+// intersectSorted returns the elements of sorted a also in sorted b,
+// reusing a's backing array.
+func intersectSorted(a, b []int) []int {
+	out := a[:0]
+	for _, v := range a {
+		if containsSorted(b, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// subtractSorted returns the elements of sorted a not in sorted b.
+func subtractSorted(a, b []int) []int {
+	out := make([]int, 0, len(a))
+	for _, v := range a {
+		if !containsSorted(b, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

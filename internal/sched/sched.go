@@ -277,8 +277,15 @@ func (r *Runner) Run(body Body) (*Result, error) {
 			}
 			dec = Decision{Proc: pendingIdx[0], Crash: true}
 		} else {
-			dec = r.policy.Next(pendingIdx, r.result.Steps)
-			if _, ok := pending[dec.Proc]; !ok {
+			dec = r.nextDecision(pendingIdx, pending)
+			if dec.Abort {
+				// The policy discards the rest of the run (e.g. a
+				// partial-order-reduction probe whose continuations are
+				// all covered elsewhere): unwind like a budget overrun
+				// and report ErrRunAborted.
+				budgetErr = ErrRunAborted
+				dec = Decision{Proc: pendingIdx[0], Crash: true}
+			} else if _, ok := pending[dec.Proc]; !ok {
 				return nil, fmt.Errorf("sched: policy chose process %d which has no pending step", dec.Proc)
 			}
 		}
@@ -315,4 +322,18 @@ func (r *Runner) Run(body Body) (*Result, error) {
 		return r.result, budgetErr
 	}
 	return r.result, nil
+}
+
+// nextDecision consults the policy for the next scheduling decision,
+// passing the pending operations' labels when the policy asks for them
+// (OpAwarePolicy).
+func (r *Runner) nextDecision(pendingIdx []int, pending map[int]event) Decision {
+	if oap, ok := r.policy.(OpAwarePolicy); ok {
+		ops := make([]string, len(pendingIdx))
+		for k, i := range pendingIdx {
+			ops[k] = pending[i].name
+		}
+		return oap.NextOps(pendingIdx, ops, r.result.Steps)
+	}
+	return r.policy.Next(pendingIdx, r.result.Steps)
 }

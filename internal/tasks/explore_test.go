@@ -77,6 +77,83 @@ func TestExploreVerifiedMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestExploreVerifiedPORDifferential asserts that partial-order-reduced
+// exploration reaches the same verdict as the sequential exhaustive
+// baseline on the <4,2> and <5,3> family members while executing
+// strictly fewer runs, and that the reduced count is identical at every
+// worker count (the reduced tree is a fixed object, like the full one).
+func TestExploreVerifiedPORDifferential(t *testing.T) {
+	for _, tc := range exploreCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.spec.N()
+			want, err := sched.ExploreSequential(n, sched.DefaultIDs(n), 1<<20, 4096*n,
+				func() sched.Body { return Body(tc.build(n)) },
+				func(res *sched.Result) error { return verifyResult(tc.spec, res) })
+			if err != nil {
+				t.Fatalf("sequential baseline: %v", err)
+			}
+			var reduced int
+			for i, workers := range []int{1, 2, 8} {
+				got, err := ExploreVerified(context.Background(), tc.spec, sched.DefaultIDs(n),
+					sched.ExploreOptions{Workers: workers, Reduction: sched.ReductionSleepSets}, tc.build)
+				if err != nil {
+					t.Fatalf("workers=%d: same verdict expected, got %v", workers, err)
+				}
+				if got >= want {
+					t.Errorf("workers=%d: reduction executed %d schedules, want strictly fewer than the %d exhaustive ones", workers, got, want)
+				}
+				if i == 0 {
+					reduced = got
+				} else if got != reduced {
+					t.Errorf("workers=%d: reduced count %d differs from single-worker count %d", workers, got, reduced)
+				}
+			}
+			t.Logf("%s: %d schedules exhaustively, %d trace classes under reduction (factor %.1f)",
+				tc.name, want, reduced, float64(want)/float64(reduced))
+		})
+	}
+}
+
+// TestExploreVerifiedPORSeededBug plants a schedule-dependent bug — a
+// WSB solver deciding off a racy shared counter, so lost updates on some
+// (not all) interleavings yield an illegal output vector — and asserts
+// the reduced exploration reports exactly the same lexicographically
+// smallest violating schedule as the exhaustive engine: the lex-min
+// violating run is the minimal member of its trace class, which sleep
+// sets always explore.
+func TestExploreVerifiedPORSeededBug(t *testing.T) {
+	spec := gsb.WSB(3)
+	n := spec.N()
+	// Non-atomic read-increment on a shared register: under a schedule
+	// where every process reads before anyone writes, all three decide
+	// 1, leaving value 2 undecided — below WSB's lower bound of 1.
+	build := func(n int) Solver {
+		c := mem.NewReg[int]("C")
+		return SolverFunc(func(p *sched.Proc, id int) int {
+			v, _ := c.Read(p)
+			c.Write(p, v+1)
+			return 1 + v%2
+		})
+	}
+	exhaust := func(workers int, red sched.Reduction) (int, error) {
+		return ExploreVerified(context.Background(), spec, sched.DefaultIDs(n),
+			sched.ExploreOptions{Workers: workers, Reduction: red}, build)
+	}
+	okCount, okErr := exhaust(1, sched.ReductionNone)
+	if okErr == nil {
+		t.Fatalf("exhaustive exploration missed the seeded bug after %d schedules", okCount)
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := exhaust(workers, sched.ReductionSleepSets)
+		if err == nil {
+			t.Fatalf("workers=%d: reduced exploration missed the seeded bug", workers)
+		}
+		if err.Error() != okErr.Error() {
+			t.Errorf("workers=%d: violation\n  %v\nwant the exhaustive engine's lex-min report\n  %v", workers, err, okErr)
+		}
+	}
+}
+
 // TestExploreVerifiedBudget asserts budget exhaustion surfaces as
 // ErrExplorationBudget with the exact budget as the count, under
 // concurrency.
