@@ -28,11 +28,15 @@ import (
 // Entry is one measurement: a protocol model-checked under one engine
 // configuration.
 type Entry struct {
-	Name      string `json:"name"`
-	Task      string `json:"task"`
-	N         int    `json:"n"`
-	Workers   int    `json:"workers"`
-	Reduction string `json:"reduction"`
+	Name    string `json:"name"`
+	Task    string `json:"task"`
+	N       int    `json:"n"`
+	Workers int    `json:"workers"`
+	// Mode distinguishes statistical sampling entries ("sample-walk",
+	// "sample-pct") from the enumerating ones (empty: exhaustive or
+	// reduced per the Reduction field).
+	Mode      string `json:"mode,omitempty"`
+	Reduction string `json:"reduction,omitempty"`
 	// Schedules is the number of schedules verified: every interleaving
 	// without reduction, one per commuting-step equivalence class with.
 	Schedules  int     `json:"schedules"`
@@ -46,7 +50,12 @@ type Entry struct {
 	// ReductionFactor is exhaustive schedules / reduced schedules for
 	// the same protocol, when both are known (0 otherwise).
 	ReductionFactor float64 `json:"reduction_factor,omitempty"`
-	Error           string  `json:"error,omitempty"`
+	// Classes and Coverage are the sampling coverage columns: distinct
+	// Mazurkiewicz trace classes hit by the batch, and Classes/Runs.
+	Classes  int     `json:"classes,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
+	PCTDepth int     `json:"pct_depth,omitempty"`
+	Error    string  `json:"error,omitempty"`
 }
 
 // Report is the top-level BENCH_sched.json document.
@@ -126,6 +135,56 @@ func cases(full bool) []benchCase {
 	return cs
 }
 
+// slotCase is the Figure 2 slot-renaming protocol at size n, the
+// standard sampling showcase (n >= 5 is beyond every enumerating mode).
+func slotCase(n int) benchCase {
+	return benchCase{
+		name: fmt.Sprintf("slot-renaming-%d", n),
+		n:    n,
+		spec: repro.Renaming(n, n+1),
+		build: func(n int) repro.Solver {
+			return repro.NewSlotRenaming("F2", n, repro.SlotBox("KS", n, n-1, 1))
+		},
+	}
+}
+
+// sampleCases are the statistical-sampling measurements: instances whose
+// schedule tree no enumerating mode completes, measured as sampled
+// runs/sec plus trace-class coverage.
+func sampleCases(full bool) []benchCase {
+	cs := []benchCase{slotCase(6)}
+	if full {
+		cs = append(cs, slotCase(8))
+	}
+	return cs
+}
+
+func measureSample(c benchCase, workers, runs int, mode repro.SampleMode, depth int) Entry {
+	opts := repro.ExploreOptions{Workers: workers, Seed: 1, SampleRuns: runs, SampleMode: mode, Depth: depth}
+	start := time.Now()
+	rep, err := repro.SampleVerified(context.Background(), c.spec, repro.DefaultIDs(c.n), opts, c.build)
+	elapsed := time.Since(start)
+	e := Entry{
+		Name:       c.name,
+		Task:       c.spec.String(),
+		N:          c.n,
+		Workers:    workers,
+		Mode:       "sample-" + mode.String(),
+		Schedules:  rep.Runs,
+		Classes:    rep.Classes,
+		Coverage:   rep.Coverage(),
+		PCTDepth:   rep.Depth,
+		ElapsedSec: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		e.RunsPerSec = float64(rep.Runs) / elapsed.Seconds()
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	return e
+}
+
 func measure(c benchCase, workers int, reduction repro.Reduction) Entry {
 	opts := repro.ExploreOptions{Workers: workers, MaxRuns: 1 << 22, Reduction: reduction}
 	start := time.Now()
@@ -180,12 +239,30 @@ func main() {
 		fmt.Printf("  %-18s n=%d %-12s %8d schedules  %8.0f runs/s  factor %.0fx\n",
 			c.name, c.n, reduced.Reduction, reduced.Schedules, reduced.RunsPerSec, reduced.ReductionFactor)
 	}
+	// Statistical sampling: runs/sec plus trace-class coverage on the
+	// instances the enumerating modes cannot complete.
+	sampleRuns := 2000
+	if *full {
+		sampleRuns = 10000
+	}
+	for _, c := range sampleCases(*full) {
+		for _, mode := range []repro.SampleMode{repro.SampleWalk, repro.SamplePCT} {
+			e := measureSample(c, w, sampleRuns, mode, 0)
+			rep.Entries = append(rep.Entries, e)
+			fmt.Printf("  %-18s n=%d %-12s %8d runs       %8.0f runs/s  %d classes (%.2f coverage)\n",
+				c.name, c.n, e.Mode, e.Schedules, e.RunsPerSec, e.Classes, e.Coverage)
+		}
+	}
 	// Any failed measurement — exhaustive or reduced — fails the run, so
 	// CI's bench step gates on it rather than burying it in the artifact.
 	failed := false
 	for _, e := range rep.Entries {
 		if e.Error != "" {
-			fmt.Fprintf(os.Stderr, "gsbbench: %s (%s): %s\n", e.Name, e.Reduction, e.Error)
+			label := e.Reduction
+			if label == "" {
+				label = e.Mode
+			}
+			fmt.Fprintf(os.Stderr, "gsbbench: %s (%s): %s\n", e.Name, label, e.Error)
 			failed = true
 		}
 	}

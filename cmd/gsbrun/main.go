@@ -3,17 +3,30 @@
 // output vector, crash pattern, step counts and verification verdict.
 // With -explore it instead model-checks the protocol over every
 // failure-free schedule (or a randomized crash sweep when -crash > 0)
-// using the parallel exploration engine.
+// using the parallel exploration engine; with -sample it statistically
+// samples the schedule space — the mode for instances whose tree is
+// beyond even partial-order-reduced exhaustion — and reports
+// distinct-trace-class coverage.
 //
 // Usage:
 //
 //	gsbrun [-protocol slot-renaming] [-n 6] [-seed 1] [-crash 0.02] [-runs 1]
 //	gsbrun -explore [-por] [-workers 8] [-maxruns 1000000] [-protocol slot-renaming] [-n 4]
+//	gsbrun -sample 10000 [-pct-depth 3] [-workers 8] [-protocol slot-renaming] [-n 8]
+//	gsbrun -json ...          # machine-readable NDJSON records on stdout
 //
 // -por enables partial-order reduction: the exploration executes one
 // schedule per equivalence class of commuting shared-memory steps (ops on
 // distinct objects, and read-only pairs on the same object, commute)
 // instead of every interleaving, with identical verdicts.
+//
+// -sample N executes N seeded runs drawn by a uniform random walk over
+// the pending set; -pct-depth d switches the sampler to PCT
+// (probabilistic concurrency testing: random priorities plus d-1 seeded
+// priority-change points, detecting a depth-d bug with probability >=
+// 1/(n*k^(d-1)) per run). Batches are reproducible from -seed at any
+// worker count, and a failing run is reported with a derived seed that
+// replays it.
 //
 // Protocols:
 //
@@ -28,6 +41,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -35,6 +49,48 @@ import (
 
 	"repro"
 )
+
+// record is the machine-readable result of one gsbrun invocation mode
+// (-json): one record per sampled/explored batch, or one per run in
+// seeded-run mode.
+type record struct {
+	Protocol string `json:"protocol"`
+	Task     string `json:"task"`
+	Mode     string `json:"mode"` // run | explore | crash-sweep | sample-walk | sample-pct
+	N        int    `json:"n"`
+	Seed     int64  `json:"seed"`
+	Workers  int    `json:"workers,omitempty"`
+	// Schedules is the number of schedules/runs verified (trace classes
+	// under -por; sampled runs under -sample).
+	Schedules int `json:"schedules"`
+	// Classes and Coverage report sampling's distinct-trace-class
+	// coverage (classes hit, and classes/runs).
+	Classes  int     `json:"classes,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
+	PCTDepth int     `json:"pct_depth,omitempty"`
+	OK       bool    `json:"ok"`
+	// Violation carries the verdict of a failed batch, including the
+	// violating schedule (explore) or the failing run (sample/sweep).
+	// FailedRun/FailedSeed are pointers so that a failure at run index
+	// 0 (or a derived seed of 0) still serializes: absent fields mean
+	// "no per-run failure info", never "run 0".
+	Violation  string `json:"violation,omitempty"`
+	FailedRun  *int   `json:"failed_run,omitempty"`
+	FailedSeed *int64 `json:"failed_seed,omitempty"`
+	// Seeded-run mode only.
+	Outputs []int `json:"outputs,omitempty"`
+	Crashed []int `json:"crashed,omitempty"`
+	Steps   int   `json:"steps,omitempty"`
+}
+
+func emitJSON(rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
 
 func main() {
 	protocol := flag.String("protocol", "slot-renaming", "protocol to run")
@@ -44,10 +100,13 @@ func main() {
 	runs := flag.Int("runs", 1, "number of seeded runs (seeds seed..seed+runs-1); with -explore -crash, the crash-sweep run count")
 	trace := flag.Bool("trace", false, "print the step timeline of each run")
 	explore := flag.Bool("explore", false, "model-check the protocol over every failure-free schedule instead of sampling")
-	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS); only with -explore")
+	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS); only with -explore/-sample")
 	maxRuns := flag.Int("maxruns", 1<<20, "exploration run budget; only with -explore")
 	por := flag.Bool("por", false, "partial-order reduction: explore one schedule per commuting-step equivalence class; only with -explore")
 	porMemo := flag.Bool("por-memo", false, "like -por, additionally deduplicating trace classes by canonical hash; only with -explore")
+	sample := flag.Int("sample", 0, "statistically sample this many seeded schedules (uniform random walk) and report trace-class coverage")
+	pctDepth := flag.Int("pct-depth", 0, "with -sample, use the PCT sampler with this bug depth (d-1 priority-change points; 0 = random walk)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable NDJSON result record per batch/run instead of text")
 	flag.Parse()
 
 	if *n < 2 {
@@ -61,6 +120,21 @@ func main() {
 	if *porMemo {
 		reduction = repro.ReductionSleepMemo
 	}
+	if *pctDepth > 0 && *sample <= 0 {
+		fmt.Fprintln(os.Stderr, "gsbrun: -pct-depth needs -sample N")
+		os.Exit(2)
+	}
+	if *sample > 0 && (*explore || *crash > 0 || *por || *porMemo || flagSet("maxruns")) {
+		fmt.Fprintln(os.Stderr, "gsbrun: -sample conflicts with -explore/-crash/-por/-por-memo/-maxruns (pick one mode)")
+		os.Exit(2)
+	}
+	if *sample > 0 {
+		if err := sampleProtocol(*protocol, *n, *seed, *workers, *sample, *pctDepth, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *explore {
 		// -runs defaults to 1 for seeded runs; for a crash sweep an
 		// unset -runs means a 1000-run sweep, but an explicit value —
@@ -72,7 +146,7 @@ func main() {
 		// Probability/budget validation happens inside the exploration
 		// engine (ExploreOptions.Validate), so a bad -crash surfaces as
 		// an error here rather than a panic in a worker goroutine.
-		if err := exploreProtocol(*protocol, *n, *seed, *crash, *workers, *maxRuns, sweepRuns, reduction); err != nil {
+		if err := exploreProtocol(*protocol, *n, *seed, *crash, *workers, *maxRuns, sweepRuns, reduction, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
 			os.Exit(1)
 		}
@@ -85,7 +159,7 @@ func main() {
 		os.Exit(2)
 	}
 	for s := *seed; s < *seed+int64(*runs); s++ {
-		if err := runOnce(*protocol, *n, s, *crash, *trace); err != nil {
+		if err := runOnce(*protocol, *n, s, *crash, *trace, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
 			os.Exit(1)
 		}
@@ -139,17 +213,72 @@ func selectProtocol(protocol string, n int, seed int64) (repro.Spec, func(n int)
 	}
 }
 
+// sampleProtocol statistically samples the protocol's schedule space:
+// sampleRuns seeded runs drawn by a uniform random walk, or by PCT when
+// pctDepth > 0, each verified against the task, with distinct-trace-class
+// coverage in the report.
+func sampleProtocol(protocol string, n int, seed int64, workers, sampleRuns, pctDepth int, jsonOut bool) error {
+	spec, build, err := selectProtocol(protocol, n, seed)
+	if err != nil {
+		return err
+	}
+	mode := repro.SampleWalk
+	if pctDepth > 0 {
+		mode = repro.SamplePCT
+	}
+	opts := repro.ExploreOptions{Workers: workers, Seed: seed, SampleRuns: sampleRuns, SampleMode: mode, Depth: pctDepth}
+	rep, err := repro.SampleVerified(context.Background(), spec, repro.DefaultIDs(n), opts, build)
+	if jsonOut {
+		rec := record{
+			Protocol:  protocol,
+			Task:      spec.String(),
+			Mode:      "sample-" + rep.Mode.String(),
+			N:         n,
+			Seed:      seed,
+			Workers:   workers,
+			Schedules: rep.Runs,
+			Classes:   rep.Classes,
+			Coverage:  rep.Coverage(),
+			PCTDepth:  rep.Depth,
+			OK:        err == nil,
+		}
+		if err != nil {
+			rec.Violation = err.Error()
+			if rep.FailedRun >= 0 {
+				rec.FailedRun = &rep.FailedRun
+				rec.FailedSeed = &rep.FailedSeed
+			}
+		}
+		if jerr := emitJSON(rec); jerr != nil {
+			return jerr
+		}
+		return err
+	}
+	if err != nil {
+		return fmt.Errorf("after %d sampled runs (%d distinct trace classes): %w", rep.Runs, rep.Classes, err)
+	}
+	fmt.Printf("protocol=%s task=%v sampled %d schedules (%v", protocol, spec, rep.Runs, rep.Mode)
+	if rep.Mode == repro.SamplePCT {
+		fmt.Printf(", depth %d over a %d-step horizon", rep.Depth, rep.Horizon)
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("  %d runs verified against %v\n", rep.Runs, spec)
+	fmt.Printf("  coverage: %d distinct trace classes (%.1f%% of runs found a new class)\n", rep.Classes, 100*rep.Coverage())
+	return nil
+}
+
 // exploreProtocol model-checks the protocol: exhaustively over every
 // failure-free schedule (one representative per commuting-step
 // equivalence class under -por), or as a randomized crash sweep when
 // crash > 0.
-func exploreProtocol(protocol string, n int, seed int64, crash float64, workers, maxRuns, runs int, reduction repro.Reduction) error {
+func exploreProtocol(protocol string, n int, seed int64, crash float64, workers, maxRuns, runs int, reduction repro.Reduction, jsonOut bool) error {
 	spec, build, err := selectProtocol(protocol, n, seed)
 	if err != nil {
 		return err
 	}
 	opts := repro.ExploreOptions{Workers: workers, MaxRuns: maxRuns, Seed: seed, Reduction: reduction}
 	mode := "every failure-free schedule"
+	recMode := "explore"
 	if reduction != repro.ReductionNone {
 		mode = fmt.Sprintf("every failure-free schedule (%v reduction)", reduction)
 	}
@@ -160,8 +289,28 @@ func exploreProtocol(protocol string, n int, seed int64, crash float64, workers,
 		opts.CrashRuns = runs
 		opts.CrashProb = crash
 		mode = fmt.Sprintf("%d crash-injected runs (p=%v)", runs, crash)
+		recMode = "crash-sweep"
 	}
 	count, err := repro.ExploreVerified(context.Background(), spec, repro.DefaultIDs(n), opts, build)
+	if jsonOut {
+		rec := record{
+			Protocol:  protocol,
+			Task:      spec.String(),
+			Mode:      recMode,
+			N:         n,
+			Seed:      seed,
+			Workers:   workers,
+			Schedules: count,
+			OK:        err == nil,
+		}
+		if err != nil {
+			rec.Violation = err.Error()
+		}
+		if jerr := emitJSON(rec); jerr != nil {
+			return jerr
+		}
+		return err
+	}
 	if err != nil {
 		return fmt.Errorf("after %d schedules: %w", count, err)
 	}
@@ -170,7 +319,7 @@ func exploreProtocol(protocol string, n int, seed int64, crash float64, workers,
 	return nil
 }
 
-func runOnce(protocol string, n int, seed int64, crash float64, trace bool) error {
+func runOnce(protocol string, n int, seed int64, crash float64, trace, jsonOut bool) error {
 	spec, build, err := selectProtocol(protocol, n, seed)
 	if err != nil {
 		return err
@@ -182,6 +331,32 @@ func runOnce(protocol string, n int, seed int64, crash float64, trace bool) erro
 		policy = repro.NewRandomPolicy(seed)
 	}
 	res, err := repro.RunVerified(spec, repro.DefaultIDs(n), policy, build)
+	if jsonOut {
+		rec := record{
+			Protocol: protocol,
+			Task:     spec.String(),
+			Mode:     "run",
+			N:        n,
+			Seed:     seed,
+			OK:       err == nil,
+		}
+		if err != nil {
+			rec.Violation = err.Error()
+		} else {
+			rec.Schedules = 1
+			rec.Outputs = res.Outputs
+			rec.Steps = res.Steps
+			for i, c := range res.Crashed {
+				if c {
+					rec.Crashed = append(rec.Crashed, i)
+				}
+			}
+		}
+		if jerr := emitJSON(rec); jerr != nil {
+			return jerr
+		}
+		return err
+	}
 	if err != nil {
 		return err
 	}

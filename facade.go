@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/msgnet"
 	"repro/internal/nocomm"
+	"repro/internal/sample"
 	"repro/internal/sched"
 	"repro/internal/solvability"
 	"repro/internal/tasks"
@@ -65,6 +66,13 @@ type (
 	// exhaustive exploration (ReductionNone, ReductionSleepSets,
 	// ReductionSleepMemo).
 	Reduction = sched.Reduction
+	// SampleMode selects the statistical sampler executed when
+	// ExploreOptions.SampleRuns > 0 (SampleWalk, SamplePCT).
+	SampleMode = sched.SampleMode
+	// SampleReport is the outcome of a statistical sampling batch:
+	// runs executed, distinct-trace-class coverage, and the replayable
+	// smallest failing run (index + derived seed).
+	SampleReport = sample.Report
 )
 
 // Partial-order reduction levels (ExploreOptions.Reduction).
@@ -72,6 +80,15 @@ const (
 	ReductionNone      = sched.ReductionNone
 	ReductionSleepSets = sched.ReductionSleepSets
 	ReductionSleepMemo = sched.ReductionSleepMemo
+)
+
+// Statistical samplers (ExploreOptions.SampleMode): the uniform random
+// walk over the pending set, and probabilistic concurrency testing
+// (random priorities plus Depth-1 seeded priority-change points, with the
+// classic 1/(n*k^(Depth-1)) bug-depth detection guarantee).
+const (
+	SampleWalk = sched.SampleWalk
+	SamplePCT  = sched.SamplePCT
 )
 
 var (
@@ -90,11 +107,33 @@ var (
 	ExploreAll        = sched.ExploreAll
 	ExploreCrashes    = sched.ExploreCrashes
 	ExploreSequential = sched.ExploreSequential
+	// SampleExplore executes a statistical sampling batch (see
+	// ExploreOptions.SampleRuns/SampleMode/Depth) and reports
+	// distinct-trace-class coverage; SampleVerified is its task-level
+	// form. ExploreSeeded is the underlying seeded-run worker pool the
+	// crash sweep and the samplers share, and DeriveRunSeed the single
+	// definition of per-run seed derivation (seed→schedule
+	// reproducibility), which makes any reported failing run replayable.
+	SampleExplore = sample.Explore
+	ExploreSeeded = sched.ExploreSeeded
+	DeriveRunSeed = sched.DeriveRunSeed
+	// NewPCTPolicy builds the standalone PCT scheduling policy (random
+	// priorities + depth-1 seeded change points), e.g. to replay a
+	// failing PCT run from its derived seed.
+	NewPCTPolicy = sample.NewPCT
+	// CanonicalTraceHash hashes a schedule's Foata normal form under an
+	// independence relation: equal hashes identify the Mazurkiewicz
+	// trace class. The sampling subsystem counts coverage with it.
+	CanonicalTraceHash = sched.CanonicalTraceHash
 	// ErrExplorationBudget reports a schedule tree larger than MaxRuns.
 	ErrExplorationBudget = sched.ErrExplorationBudget
 	// ErrInvalidExploreOptions reports semantically unusable
 	// ExploreOptions (e.g. a crash probability outside [0,1]).
 	ErrInvalidExploreOptions = sched.ErrInvalidOptions
+	// ErrScheduleDiverged reports a prefix replay that found the
+	// protocol behaving non-deterministically; exploration surfaces it
+	// as a per-run failure instead of a panic.
+	ErrScheduleDiverged = sched.ErrScheduleDiverged
 	// OpIndependent is the commutation relation partial-order reduction
 	// derives from the "<object>.<kind>" op-naming contract.
 	OpIndependent = sched.OpIndependent
@@ -129,6 +168,7 @@ var (
 	Run                            = tasks.Run
 	RunVerified                    = tasks.RunVerified
 	ExploreVerified                = tasks.ExploreVerified
+	SampleVerified                 = tasks.SampleVerified
 	SolverBody                     = tasks.Body
 	NewSnapshotRenaming            = tasks.NewSnapshotRenaming
 	NewGridRenaming                = tasks.NewGridRenaming
@@ -201,6 +241,8 @@ var (
 	Figure2Text       = harness.Figure2Text
 	ExploreExperiment = harness.ExploreExperiment
 	ExploreText       = harness.ExploreText
+	SampleExperiment  = harness.SampleExperiment
+	SampleText        = harness.SampleText
 	SolvabilityText   = harness.SolvabilityText
 	GCDTableText      = harness.GCDTableText
 )

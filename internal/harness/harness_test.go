@@ -201,3 +201,46 @@ func TestExploreExperimentPOR(t *testing.T) {
 		t.Errorf("ExploreText missing the reduction column:\n%s", text)
 	}
 }
+
+func TestSampleExperiment(t *testing.T) {
+	// n=5 slot renaming: beyond both the exhaustive and the reduced
+	// exploration (the class count alone exceeds 10^8), but trivially
+	// sampleable. The batch is seeded, so every field is deterministic.
+	rows, err := SampleExperiment([]int{5}, 2, 60, sched.SampleWalk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Runs != 60 {
+		t.Errorf("runs = %d, want 60", r.Runs)
+	}
+	if r.Classes < 2 || r.Classes > r.Runs {
+		t.Errorf("implausible class count %d over %d runs", r.Classes, r.Runs)
+	}
+	if r.Coverage() <= 0 || r.Coverage() > 1 {
+		t.Errorf("implausible coverage %v", r.Coverage())
+	}
+	again, err := SampleExperiment([]int{5}, 1, 60, sched.SampleWalk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Classes != r.Classes {
+		t.Errorf("class coverage differs across worker counts: %d vs %d", again[0].Classes, r.Classes)
+	}
+
+	pct, err := SampleExperiment([]int{5}, 2, 60, sched.SamplePCT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct[0].Depth != 3 {
+		t.Errorf("PCT depth = %d, want 3", pct[0].Depth)
+	}
+
+	text := SampleText(append(rows, pct...))
+	if !strings.Contains(text, "walk") || !strings.Contains(text, "pct") || !strings.Contains(text, "coverage") {
+		t.Errorf("SampleText malformed:\n%s", text)
+	}
+}

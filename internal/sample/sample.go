@@ -1,0 +1,195 @@
+package sample
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// Report is the outcome of a sampling batch. All fields are deterministic
+// given the options (worker count included): the set of schedules is a
+// pure function of Seed, and classes are counted over the runs up to and
+// including the reported one, which is itself interleaving-independent.
+type Report struct {
+	Mode  sched.SampleMode
+	Depth int // PCT bug depth used; 0 in walk mode
+	// Horizon is the step horizon over which PCT priority-change points
+	// were drawn — measured by a deterministic probe run (round-robin
+	// schedule), falling back to the step budget if the probe fails.
+	// 0 in walk mode.
+	Horizon int
+	// Runs is the number of runs executed and verified: SampleRuns on
+	// success, the failing run's 1-based index on failure.
+	Runs int
+	// Classes is the number of distinct Mazurkiewicz trace classes
+	// among those runs (Foata canonical-trace hash over the
+	// OpIndependent commutation relation) — the batch's measured
+	// schedule-space coverage, as opposed to its raw run count.
+	Classes int
+	// FailedRun is the smallest failing run index, -1 when every run
+	// verified. FailedSeed is that run's derived policy seed: rebuild
+	// the run's policy from it (sched.NewRandom in walk mode, NewPCT
+	// with the report's Depth and Horizon in PCT mode) to replay the
+	// violating schedule exactly.
+	FailedRun  int
+	FailedSeed int64
+}
+
+// Coverage is the distinct-class fraction of the batch: Classes/Runs.
+// Values near 1 mean nearly every run found a new trace class (the
+// sampled space is far from saturated); values near 0 mean the batch is
+// revisiting classes and Classes approaches the true class count.
+func (r Report) Coverage() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Classes) / float64(r.Runs)
+}
+
+// RunError is the failure of one sampled run: the property violation (or
+// runner error) of the smallest failing run index. It wraps the
+// underlying error and carries everything needed to replay the run.
+type RunError struct {
+	Mode      sched.SampleMode
+	Run       int   // run index within the batch
+	Seed      int64 // derived policy seed (sched.DeriveRunSeed)
+	Violation bool  // property violation (vs. a runner error)
+	Err       error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	if e.Violation {
+		return fmt.Sprintf("sample: %v run %d (seed %d) violates property: %v", e.Mode, e.Run, e.Seed, e.Err)
+	}
+	return fmt.Sprintf("sample: %v run %d (seed %d): %v", e.Mode, e.Run, e.Seed, e.Err)
+}
+
+// Unwrap implements errors.Unwrap.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Explore executes opts.SampleRuns sampled failure-free schedules of the
+// protocol over the seeded-run pool (opts.Workers goroutines), invoking
+// check on each completed run, and reports distinct-trace-class coverage.
+// opts.SampleMode picks the sampler (SampleWalk or SamplePCT, with
+// opts.Depth the PCT bug-depth knob); run i is scheduled by a policy
+// seeded with sched.DeriveRunSeed(opts.Seed, i), so the batch is
+// reproducible at any worker count.
+//
+// On a failing run the returned error is a *RunError for the smallest
+// failing index (interleaving-independent, mirroring the crash sweep) and
+// the report's FailedRun/FailedSeed identify the replayable run; the
+// report is returned alongside the error with the coverage measured over
+// the runs up to and including the failing one.
+func Explore(ctx context.Context, n int, ids []int, opts sched.ExploreOptions, build func() sched.Body, check func(*sched.Result) error) (Report, error) {
+	rep := Report{Mode: opts.SampleMode, FailedRun: -1}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return rep, err
+	}
+	if opts.SampleRuns <= 0 {
+		return rep, fmt.Errorf("sample: sampling needs SampleRuns > 0 (got %d)", opts.SampleRuns)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4096 * n
+	}
+
+	var policyFor func(i int) sched.Policy
+	switch opts.SampleMode {
+	case sched.SampleWalk:
+		policyFor = func(i int) sched.Policy {
+			return sched.NewRandom(sched.DeriveRunSeed(opts.Seed, i))
+		}
+	case sched.SamplePCT:
+		depth := opts.Depth
+		if depth <= 0 {
+			depth = DefaultDepth
+		}
+		horizon := probeHorizon(n, ids, maxSteps, build)
+		rep.Depth, rep.Horizon = depth, horizon
+		policyFor = func(i int) sched.Policy {
+			return NewPCT(sched.DeriveRunSeed(opts.Seed, i), n, depth, horizon)
+		}
+	default:
+		// Validate already rejected anything else.
+		return rep, fmt.Errorf("sample: unknown SampleMode(%d)", int(opts.SampleMode))
+	}
+
+	cov := &coverage{byRun: make(map[int]uint64)}
+	visit := func(i int, res *sched.Result, err error) error {
+		seed := sched.DeriveRunSeed(opts.Seed, i)
+		if err != nil {
+			return &RunError{Mode: opts.SampleMode, Run: i, Seed: seed, Err: err}
+		}
+		// Record coverage before checking, so the failing run's own
+		// class is part of the reported coverage.
+		cov.record(i, sched.CanonicalTraceHash(res.Schedule, sched.OpIndependent))
+		if check != nil {
+			if cerr := check(res); cerr != nil {
+				return &RunError{Mode: opts.SampleMode, Run: i, Seed: seed, Violation: true, Err: cerr}
+			}
+		}
+		return nil
+	}
+
+	count, err := sched.ExploreSeeded(ctx, n, ids, opts, opts.SampleRuns, policyFor, build, visit)
+	rep.Runs = count
+	// Count classes over run indices below the settled count: on success
+	// that is every run; on failure it is exactly the runs up to and
+	// including the smallest failing one, all of which executed (indices
+	// are claimed in order), so the figure is interleaving-independent.
+	// Only a cancellation — already nondeterministic — can leave gaps.
+	rep.Classes = cov.distinct(count)
+	var re *RunError
+	if errors.As(err, &re) {
+		rep.FailedRun, rep.FailedSeed = re.Run, re.Seed
+	}
+	return rep, err
+}
+
+// probeHorizon measures the protocol's run length under a deterministic
+// round-robin schedule, for drawing PCT change points over a realistic
+// step range: drawing over the worst-case step budget (4096*n by default)
+// would land almost every change point past the end of the run and
+// silently degrade PCT to plain priority scheduling.
+func probeHorizon(n int, ids []int, maxSteps int, build func() sched.Body) int {
+	runner := sched.NewRunner(n, ids, sched.NewRoundRobin(), sched.WithMaxSteps(maxSteps))
+	res, err := runner.Run(build())
+	if err != nil || res.Steps < 1 {
+		return maxSteps
+	}
+	return res.Steps
+}
+
+// coverage maps run index to the run's canonical trace-class hash. Runs
+// record concurrently from the pool workers; distinct() is called once
+// after the pool drains.
+type coverage struct {
+	mu    sync.Mutex
+	byRun map[int]uint64
+}
+
+func (c *coverage) record(i int, h uint64) {
+	c.mu.Lock()
+	c.byRun[i] = h
+	c.mu.Unlock()
+}
+
+// distinct counts distinct class hashes among run indices < limit.
+func (c *coverage) distinct(limit int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[uint64]struct{}, len(c.byRun))
+	for i, h := range c.byRun {
+		if i < limit {
+			seen[h] = struct{}{}
+		}
+	}
+	return len(seen)
+}

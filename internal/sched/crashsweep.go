@@ -3,15 +3,14 @@ package sched
 import (
 	"context"
 	"fmt"
-	"sync"
-	"sync/atomic"
 )
 
 // ExploreCrashes runs a randomized crash-injection sweep behind the same
 // worker-pool API as the exhaustive exploration: opts.CrashRuns runs, each
 // scheduled by a RandomCrash policy seeded deterministically from
-// opts.Seed and the run index, distributed over opts.Workers goroutines.
-// check sees every completed run, including runs with crashed processes
+// opts.Seed and the run index (DeriveRunSeed), distributed over
+// opts.Workers goroutines by the seeded-run pool (ExploreSeeded). check
+// sees every completed run, including runs with crashed processes
 // (Result.Crashed reports which).
 //
 // On success the returned count is exactly opts.CrashRuns. On failure the
@@ -20,95 +19,28 @@ import (
 // count is that run's 1-based index. Explore dispatches here when
 // opts.CrashRuns > 0.
 func ExploreCrashes(ctx context.Context, n int, ids []int, opts ExploreOptions, build func() Body, check func(*Result) error) (int, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if err := opts.Validate(); err != nil {
 		return 0, err
 	}
-	opts = opts.withDefaults(n)
 	if opts.CrashRuns <= 0 {
 		return 0, fmt.Errorf("sched: crash sweep needs CrashRuns > 0 (got %d)", opts.CrashRuns)
 	}
-
-	var (
-		next      atomic.Int64
-		completed atomic.Int64 // runs actually executed to completion
-		mu        sync.Mutex
-		bestIdx   = -1
-		bestErr   error
-		wg        sync.WaitGroup
-	)
-	record := func(i int, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if bestIdx < 0 || i < bestIdx {
-			bestIdx, bestErr = i, err
-		}
-	}
-	failedBefore := func(i int) bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return bestIdx >= 0 && i > bestIdx
-	}
-
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= opts.CrashRuns {
-					return
-				}
-				if failedBefore(i) {
-					// An earlier run already failed; later runs cannot
-					// change the reported outcome. Indices are claimed in
-					// order, so returning drains the sweep.
-					return
-				}
-				policy := NewRandomCrash(crashSweepSeed(opts.Seed, i), opts.CrashProb, opts.MaxCrashes)
-				runner := NewRunner(n, ids, policy, WithMaxSteps(opts.MaxSteps))
-				res, err := runner.Run(build())
-				completed.Add(1)
-				if err != nil {
-					record(i, fmt.Errorf("sched: crash sweep run %d (seed %d): %w", i, crashSweepSeed(opts.Seed, i), err))
-					continue
-				}
-				if check == nil {
-					continue
-				}
-				if cerr := check(res); cerr != nil {
-					record(i, fmt.Errorf("sched: crash sweep run %d (seed %d) violates property: %w", i, crashSweepSeed(opts.Seed, i), cerr))
-				}
+	opts = opts.withDefaults(n)
+	return ExploreSeeded(ctx, n, ids, opts, opts.CrashRuns,
+		func(i int) Policy {
+			return NewRandomCrash(DeriveRunSeed(opts.Seed, i), opts.CrashProb, opts.MaxCrashes)
+		},
+		build,
+		func(i int, res *Result, err error) error {
+			if err != nil {
+				return fmt.Errorf("sched: crash sweep run %d (seed %d): %w", i, DeriveRunSeed(opts.Seed, i), err)
 			}
-		}()
-	}
-	wg.Wait()
-
-	mu.Lock()
-	defer mu.Unlock()
-	if bestIdx >= 0 {
-		return bestIdx + 1, bestErr
-	}
-	if err := ctx.Err(); err != nil {
-		// Report runs that actually executed, not claimed run indices:
-		// a worker that claimed an index and then saw the cancellation
-		// (or the i >= CrashRuns sentinel) exited without running it.
-		return int(completed.Load()), fmt.Errorf("sched: crash sweep canceled: %w", err)
-	}
-	return opts.CrashRuns, nil
-}
-
-// crashSweepSeed derives the per-run policy seed: a splitmix-style mix of
-// the sweep seed and the run index, so sweeps are reproducible and runs
-// are decorrelated.
-func crashSweepSeed(seed int64, i int) int64 {
-	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
+			if check == nil {
+				return nil
+			}
+			if cerr := check(res); cerr != nil {
+				return fmt.Errorf("sched: crash sweep run %d (seed %d) violates property: %w", i, DeriveRunSeed(opts.Seed, i), cerr)
+			}
+			return nil
+		})
 }

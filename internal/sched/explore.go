@@ -25,6 +25,14 @@ import (
 // caller's run budget.
 var ErrExplorationBudget = errors.New("sched: exploration budget exhausted")
 
+// ErrScheduleDiverged is returned (wrapped) by Runner.Run when a
+// prefix-replay policy finds that the scripted process has no pending
+// step: the protocol behaved differently than it did when the prefix was
+// recorded, i.e. it is not a deterministic function of the schedule.
+// Exploration and sampling surface it as a per-run failure instead of a
+// panic, so one non-deterministic protocol cannot kill a worker pool.
+var ErrScheduleDiverged = errors.New("sched: schedule replay diverged (non-deterministic protocol?)")
+
 // explorePolicy replays a fixed prefix of choices, then always picks the
 // smallest pending process, recording every decision point's pending set.
 type explorePolicy struct {
@@ -47,7 +55,7 @@ func (e *explorePolicy) Next(pending []int, _ int) Decision {
 			}
 		}
 		if !found {
-			panic(fmt.Sprintf("sched: exploration prefix chose %d but pending is %v (non-deterministic protocol?)", pick, pending))
+			return Decision{Abort: true, Err: fmt.Errorf("%w: exploration prefix chose %d but pending is %v", ErrScheduleDiverged, pick, pending)}
 		}
 	} else {
 		pick = pending[0]
@@ -112,7 +120,7 @@ func (e *explorePolicy) branches() [][]int {
 //
 // The protocol must be deterministic given the schedule (true for every
 // protocol in this repository; randomized protocols would make prefix
-// replay diverge, which is detected and reported as a panic).
+// replay diverge, which is detected and reported as ErrScheduleDiverged).
 func ExploreAll(n int, ids []int, maxRuns, maxSteps int, build func() Body, check func(*Result) error) (int, error) {
 	return Explore(context.Background(), n, ids, ExploreOptions{
 		Workers:  1,

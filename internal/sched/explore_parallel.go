@@ -66,6 +66,25 @@ type ExploreOptions struct {
 	// so the sweep is reproducible and the first failing run (smallest
 	// run index) is interleaving-independent.
 	CrashRuns int
+
+	// SampleRuns > 0 selects statistical sampling mode: instead of
+	// enumerating the schedule tree, execute SampleRuns failure-free
+	// schedules drawn by the SampleMode sampler, each seeded via
+	// DeriveRunSeed(Seed, i), and report distinct-trace-class coverage.
+	// Sampling is implemented by internal/sample (sample.Explore);
+	// tasks.ExploreVerified dispatches there automatically, while
+	// calling sched.Explore directly with SampleRuns set is an error.
+	// Mutually exclusive with CrashRuns (Validate).
+	SampleRuns int
+	// SampleMode picks the sampler: SampleWalk (uniform over the
+	// pending set each step) or SamplePCT (probabilistic concurrency
+	// testing: random priorities plus Depth-1 priority-change points).
+	SampleMode SampleMode
+	// Depth is the PCT bug-depth knob: runs use Depth-1 priority-change
+	// points, giving the classic 1/(n*k^(Depth-1)) detection guarantee
+	// for bugs of that depth. <= 0 means the sample package default
+	// (3); ignored by SampleWalk.
+	Depth int
 	// CrashProb is the per-decision crash probability in sweep mode;
 	// it must lie in [0, 1] (Validate).
 	CrashProb float64
@@ -113,6 +132,18 @@ func (o ExploreOptions) Validate() error {
 	if !o.Reduction.valid() {
 		return fmt.Errorf("%w: unknown Reduction(%d)", ErrInvalidOptions, int(o.Reduction))
 	}
+	if o.SampleRuns < 0 {
+		return fmt.Errorf("%w: SampleRuns %d is negative (0 disables sampling)", ErrInvalidOptions, o.SampleRuns)
+	}
+	if !o.SampleMode.valid() {
+		return fmt.Errorf("%w: unknown SampleMode(%d)", ErrInvalidOptions, int(o.SampleMode))
+	}
+	if o.Depth < 0 {
+		return fmt.Errorf("%w: Depth %d is negative (0 means the PCT default)", ErrInvalidOptions, o.Depth)
+	}
+	if o.SampleRuns > 0 && o.CrashRuns > 0 {
+		return fmt.Errorf("%w: SampleRuns and CrashRuns are mutually exclusive modes", ErrInvalidOptions)
+	}
 	return nil
 }
 
@@ -152,6 +183,12 @@ func Explore(ctx context.Context, n int, ids []int, opts ExploreOptions, build f
 	}
 	if err := opts.Validate(); err != nil {
 		return 0, err
+	}
+	if opts.SampleRuns > 0 {
+		// Statistical sampling lives one layer up (internal/sample would
+		// import this package back); refuse loudly rather than silently
+		// running an exhaustive walk the caller did not ask for.
+		return 0, fmt.Errorf("sched: SampleRuns > 0 selects statistical sampling, which is implemented by internal/sample (call sample.Explore, or tasks.ExploreVerified which dispatches)")
 	}
 	opts = opts.withDefaults(n)
 	if opts.CrashRuns > 0 {
@@ -457,7 +494,7 @@ func (e *explorer) admit(res *Result) bool {
 	if e.memo == nil {
 		return true
 	}
-	return e.memo.admit(canonicalTraceHash(res.Schedule, e.indep))
+	return e.memo.admit(CanonicalTraceHash(res.Schedule, e.indep))
 }
 
 // lexLess reports whether choice sequence a precedes b lexicographically

@@ -91,14 +91,14 @@ func dependentStep(a, b Step, indep Independence) bool {
 	return !indep(a.Proc, a.Op, b.Proc, b.Op)
 }
 
-// canonicalTraceHash hashes the Foata normal form of a completed run's
+// CanonicalTraceHash hashes the Foata normal form of a completed run's
 // step sequence under indep. Equivalent schedules — those differing only
 // by swaps of adjacent independent steps — have identical normal forms,
 // so the hash identifies the run's Mazurkiewicz trace class (and, for the
 // deterministic protocols this engine executes, the final register
 // contents, which are a function of the class). The memo layer of the
 // reduction uses it to avoid double-counting a class.
-func canonicalTraceHash(schedule []Step, indep Independence) uint64 {
+func CanonicalTraceHash(schedule []Step, indep Independence) uint64 {
 	// Foata normal form: place each step in the level just below the
 	// deepest level holding a step it depends on. Steps within a level
 	// are pairwise independent, hence from distinct processes, and are

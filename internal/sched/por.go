@@ -106,7 +106,7 @@ func (e *porPolicy) decide(pending []int, ops []string, _ int) Decision {
 	if step < len(e.prefix) {
 		pick := e.prefix[step]
 		if !containsSorted(pending, pick) {
-			panic(fmt.Sprintf("sched: exploration prefix chose %d but pending is %v (non-deterministic protocol?)", pick, pending))
+			return Decision{Abort: true, Err: fmt.Errorf("%w: exploration prefix chose %d but pending is %v", ErrScheduleDiverged, pick, pending)}
 		}
 		e.choices = append(e.choices, pick)
 		return Decision{Proc: pick}

@@ -79,12 +79,12 @@ func TestCanonicalTraceHash(t *testing.T) {
 	// dependent ones changes it.
 	a := []Step{{Proc: 0, Op: "A.write"}, {Proc: 1, Op: "B.write"}, {Proc: 0, Op: "X.read"}}
 	b := []Step{{Proc: 1, Op: "B.write"}, {Proc: 0, Op: "A.write"}, {Proc: 0, Op: "X.read"}}
-	if canonicalTraceHash(a, OpIndependent) != canonicalTraceHash(b, OpIndependent) {
+	if CanonicalTraceHash(a, OpIndependent) != CanonicalTraceHash(b, OpIndependent) {
 		t.Error("equivalent schedules hash differently")
 	}
 	c := []Step{{Proc: 0, Op: "X.write"}, {Proc: 1, Op: "X.write"}}
 	d := []Step{{Proc: 1, Op: "X.write"}, {Proc: 0, Op: "X.write"}}
-	if canonicalTraceHash(c, OpIndependent) == canonicalTraceHash(d, OpIndependent) {
+	if CanonicalTraceHash(c, OpIndependent) == CanonicalTraceHash(d, OpIndependent) {
 		t.Error("conflicting writes in either order hash equal")
 	}
 }
@@ -127,7 +127,7 @@ func classCount(t *testing.T, n int, build func() Body) int {
 		ExploreOptions{Workers: 1, MaxSteps: 1000}, build,
 		func(res *Result) error {
 			mu.Lock()
-			classes[canonicalTraceHash(res.Schedule, OpIndependent)] = struct{}{}
+			classes[CanonicalTraceHash(res.Schedule, OpIndependent)] = struct{}{}
 			mu.Unlock()
 			return nil
 		})

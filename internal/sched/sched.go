@@ -282,8 +282,13 @@ func (r *Runner) Run(body Body) (*Result, error) {
 				// The policy discards the rest of the run (e.g. a
 				// partial-order-reduction probe whose continuations are
 				// all covered elsewhere): unwind like a budget overrun
-				// and report ErrRunAborted.
+				// and report ErrRunAborted — or the policy's own
+				// structured error (e.g. ErrScheduleDiverged) when it
+				// set one.
 				budgetErr = ErrRunAborted
+				if dec.Err != nil {
+					budgetErr = dec.Err
+				}
 				dec = Decision{Proc: pendingIdx[0], Crash: true}
 			} else if _, ok := pending[dec.Proc]; !ok {
 				return nil, fmt.Errorf("sched: policy chose process %d which has no pending step", dec.Proc)

@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the seeded-run pool: the worker-pool driver shared by every
+// statistical mode of the engine — the crash-injection sweep
+// (crashsweep.go) and the schedule samplers of internal/sample. Each run
+// is scheduled by a policy derived deterministically from a sweep seed and
+// the run index, so a sweep of any size is reproducible, any single run is
+// replayable from its derived seed alone, and the aggregate outcome (the
+// smallest failing run index) is independent of worker interleaving.
+
+// DeriveRunSeed derives the per-run policy seed of run i of a seeded
+// sweep: a splitmix64-style mix of the sweep seed and the run index.
+// Sweeps are reproducible (same seed, same i, same derived seed — and,
+// with a deterministic policy, the same schedule at any worker count) and
+// runs are decorrelated (nearby indices yield unrelated streams).
+//
+// This is the single definition of seed→schedule reproducibility: the
+// crash sweep, the random-walk sampler and the PCT sampler all seed their
+// per-run policies through it, so a failing run reported by any of them
+// can be replayed by reconstructing the same policy from the derived
+// seed.
+func DeriveRunSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// SampleMode selects the statistical sampler run by the sample subsystem
+// when ExploreOptions.SampleRuns > 0 (see internal/sample).
+type SampleMode int
+
+const (
+	// SampleWalk is the uniform random walk: every decision picks
+	// uniformly at random among the pending processes, seeded per run
+	// via DeriveRunSeed. Schedules are sampled from the leaf
+	// distribution of the pending-choice tree (not uniformly over
+	// schedules), which in practice spreads probability over many
+	// Mazurkiewicz trace classes per run batch.
+	SampleWalk SampleMode = iota
+	// SamplePCT is probabilistic concurrency testing (Burckhardt et al.):
+	// random process priorities plus Depth-1 seeded priority-change
+	// points, always granting the highest-priority pending process. A
+	// bug of depth d is found with probability >= 1/(n*k^(d-1)) per run
+	// (n processes, k steps), a guarantee uniform walks do not give.
+	SamplePCT
+)
+
+// String implements fmt.Stringer.
+func (m SampleMode) String() string {
+	switch m {
+	case SampleWalk:
+		return "walk"
+	case SamplePCT:
+		return "pct"
+	default:
+		return fmt.Sprintf("SampleMode(%d)", int(m))
+	}
+}
+
+func (m SampleMode) valid() bool {
+	return m == SampleWalk || m == SamplePCT
+}
+
+// ExploreSeeded executes runs independently-seeded runs over a pool of
+// opts.Workers goroutines: run i is scheduled by policyFor(i) and executed
+// against a fresh build() instance, and visit(i, res, err) sees its
+// outcome. The crash sweep and the statistical samplers are both built on
+// this driver.
+//
+// visit is called concurrently from the workers (at most once per run
+// index) and must be safe for concurrent use; a non-nil error it returns
+// marks run i failed. On failure the reported error is that of the run
+// with the smallest failing index — independent of worker interleaving,
+// because indices are claimed in order and later runs cannot precede an
+// already-recorded smaller failure — and the returned count is that run's
+// 1-based index. On success the count is runs; on cancellation it is the
+// number of runs that actually executed.
+func ExploreSeeded(ctx context.Context, n int, ids []int, opts ExploreOptions, runs int,
+	policyFor func(run int) Policy, build func() Body, visit func(run int, res *Result, err error) error) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return 0, err
+	}
+	if runs <= 0 {
+		return 0, fmt.Errorf("sched: seeded run pool needs runs > 0 (got %d)", runs)
+	}
+	opts = opts.withDefaults(n)
+
+	var (
+		next      atomic.Int64
+		completed atomic.Int64 // runs actually executed to completion
+		mu        sync.Mutex
+		bestIdx   = -1
+		bestErr   error
+		wg        sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if bestIdx < 0 || i < bestIdx {
+			bestIdx, bestErr = i, err
+		}
+	}
+	failedBefore := func(i int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return bestIdx >= 0 && i > bestIdx
+	}
+
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= runs {
+					return
+				}
+				if failedBefore(i) {
+					// An earlier run already failed; later runs cannot
+					// change the reported outcome. Indices are claimed in
+					// order, so returning drains the pool.
+					return
+				}
+				runner := NewRunner(n, ids, policyFor(i), WithMaxSteps(opts.MaxSteps))
+				res, err := runner.Run(build())
+				completed.Add(1)
+				if verr := visit(i, res, err); verr != nil {
+					record(i, verr)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if bestIdx >= 0 {
+		return bestIdx + 1, bestErr
+	}
+	if err := ctx.Err(); err != nil {
+		// Report runs that actually executed, not claimed run indices:
+		// a worker that claimed an index and then saw the cancellation
+		// (or the i >= runs sentinel) exited without running it.
+		return int(completed.Load()), fmt.Errorf("sched: seeded run pool canceled: %w", err)
+	}
+	return runs, nil
+}

@@ -1,7 +1,11 @@
 package sched
 
 import (
+	"context"
+	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -66,6 +70,136 @@ func TestTimelineFromRealRun(t *testing.T) {
 	for _, row := range []string{"p0 ", "p1 ", "p2 "} {
 		if !strings.Contains(got, row) {
 			t.Errorf("missing row %q", row)
+		}
+	}
+}
+
+// foataString is a test-local, independent rendering of a schedule's
+// Foata normal form: steps are placed level by level exactly as
+// CanonicalTraceHash does, but the result is the readable level structure
+// instead of an FNV digest. Distinct strings are distinct trace classes
+// by construction, which makes the hash checkable for collisions.
+func foataString(schedule []Step, indep Independence) string {
+	var levels [][]Step
+	for _, s := range schedule {
+		d := 0
+		for l := len(levels); l >= 1; l-- {
+			if levelDepends(levels[l-1], s, indep) {
+				d = l
+				break
+			}
+		}
+		if d == len(levels) {
+			levels = append(levels, nil)
+		}
+		levels[d] = append(levels[d], s)
+	}
+	var b strings.Builder
+	for _, level := range levels {
+		sort.Slice(level, func(i, j int) bool { return level[i].Proc < level[j].Proc })
+		b.WriteByte('[')
+		for _, s := range level {
+			fmt.Fprintf(&b, "%d:%s ", s.Proc, s.Op)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// TestTraceHashCollisionSmoke42 enumerates every failure-free schedule of
+// the <4,2>-family oracle-box shape (four processes, one conflicting
+// "R.invoke" each plus a commuting decide — the step structure of the
+// WSB(4)-from-renaming protocol) and cross-checks the Foata hash against
+// an independently computed normal form on all of them: equal forms must
+// hash equal, distinct forms must hash distinct (the class-coverage
+// metric of the sampling subsystem depends on this hash being collision-
+// free on real schedule populations), and the class count must be exactly
+// the 4! = 24 orderings of the four conflicting invokes.
+func TestTraceHashCollisionSmoke42(t *testing.T) {
+	const n = 4
+	build := func() Body {
+		return func(p *Proc) {
+			p.Exec("R.invoke", func() any { return nil })
+			p.Decide(p.ID())
+		}
+	}
+	byForm := map[string]uint64{}
+	byHash := map[uint64]string{}
+	schedules := 0
+	_, err := Explore(context.Background(), n, DefaultIDs(n),
+		ExploreOptions{Workers: 1, MaxSteps: 1000}, build,
+		func(res *Result) error {
+			schedules++
+			form := foataString(res.Schedule, OpIndependent)
+			hash := CanonicalTraceHash(res.Schedule, OpIndependent)
+			if prev, ok := byForm[form]; ok && prev != hash {
+				return fmt.Errorf("same normal form %q hashed %d and %d", form, prev, hash)
+			}
+			if prev, ok := byHash[hash]; ok && prev != form {
+				return fmt.Errorf("hash collision %d: forms %q and %q", hash, prev, form)
+			}
+			byForm[form] = hash
+			byHash[hash] = form
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (8)!/(2!)^4 = 2520 interleavings, 4! = 24 orders of the invokes.
+	if schedules != 2520 {
+		t.Errorf("explored %d schedules, want 2520", schedules)
+	}
+	if len(byForm) != 24 {
+		t.Errorf("found %d trace classes, want 24", len(byForm))
+	}
+}
+
+// TestTraceHashStableAcrossWorkers: the set of class hashes observed over
+// a full exploration is identical at 1, 2 and 8 workers — the hash
+// depends only on the schedule, never on which worker executed the run,
+// so the sampling subsystem's coverage counts are interleaving-
+// independent.
+func TestTraceHashStableAcrossWorkers(t *testing.T) {
+	const n = 3
+	build := func() Body {
+		shared := 0
+		return func(p *Proc) {
+			p.Exec(fmt.Sprintf("r%d.write", p.Index()), func() any { return nil })
+			v := p.Exec("X.read", func() any { return shared }).(int)
+			p.Exec("X.write", func() any { shared = v + 1; return nil })
+			p.Decide(p.ID())
+		}
+	}
+	classes := func(workers int) map[uint64]struct{} {
+		var mu sync.Mutex
+		set := map[uint64]struct{}{}
+		_, err := Explore(context.Background(), n, DefaultIDs(n),
+			ExploreOptions{Workers: workers, MaxSteps: 1000}, build,
+			func(res *Result) error {
+				h := CanonicalTraceHash(res.Schedule, OpIndependent)
+				mu.Lock()
+				set[h] = struct{}{}
+				mu.Unlock()
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return set
+	}
+	want := classes(1)
+	if len(want) < 2 {
+		t.Fatalf("only %d classes; test is vacuous", len(want))
+	}
+	for _, workers := range []int{2, 8} {
+		got := classes(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d classes, want %d", workers, len(got), len(want))
+		}
+		for h := range want {
+			if _, ok := got[h]; !ok {
+				t.Errorf("workers=%d: class %d missing", workers, h)
+			}
 		}
 	}
 }

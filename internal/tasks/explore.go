@@ -10,17 +10,24 @@ import (
 
 // ExploreVerified model-checks a protocol against its task specification:
 // it runs build under every failure-free schedule (or, when
-// opts.CrashRuns > 0, under a randomized crash-injection sweep) using the
-// parallel exploration engine, and verifies each run's outputs against
-// spec — complete runs must produce a legal output vector, runs with
-// crashes a legal completable prefix. It returns the number of schedules
-// explored.
+// opts.CrashRuns > 0, under a randomized crash-injection sweep; or, when
+// opts.SampleRuns > 0, under a statistical sampling batch — see
+// SampleVerified, to which it dispatches) using the parallel exploration
+// engine, and verifies each run's outputs against spec — complete runs
+// must produce a legal output vector, runs with crashes a legal
+// completable prefix. It returns the number of schedules explored (for a
+// sampling batch: runs executed; use SampleVerified directly for the
+// coverage report).
 //
 // build is called once per run and must allocate fresh shared objects;
 // with opts.Workers != 1 runs execute concurrently, which every protocol
 // constructor in this repository supports (none share state across
 // instances). A nil ctx means context.Background().
 func ExploreVerified(ctx context.Context, spec gsb.Spec, ids []int, opts sched.ExploreOptions, build func(n int) Solver) (int, error) {
+	if opts.SampleRuns > 0 {
+		rep, err := SampleVerified(ctx, spec, ids, opts, build)
+		return rep.Runs, err
+	}
 	n := spec.N()
 	return sched.Explore(ctx, n, ids, opts,
 		func() sched.Body { return Body(build(n)) },

@@ -1,0 +1,85 @@
+package tasks
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gsb"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// TestSampleVerifiedConvergesToPORClassCount is the differential
+// acceptance test for the coverage metric: on the <4,2> family member
+// (WSB(4) from a renaming oracle box) the sampler's distinct-trace-class
+// count must converge to the exact class count established by the
+// partial-order-reduced exhaustive engine — for both the uniform walk
+// and PCT. The batch is seeded, so the test is deterministic.
+func TestSampleVerifiedConvergesToPORClassCount(t *testing.T) {
+	tc := exploreCases(t)[0] // wsb-4-2
+	n := tc.spec.N()
+	want, err := ExploreVerified(context.Background(), tc.spec, sched.DefaultIDs(n),
+		sched.ExploreOptions{Workers: 2, Reduction: sched.ReductionSleepSets}, tc.build)
+	if err != nil {
+		t.Fatalf("POR ground truth: %v", err)
+	}
+	if want < 2 {
+		t.Fatalf("only %d classes; test is vacuous", want)
+	}
+	for _, mode := range []sched.SampleMode{sched.SampleWalk, sched.SamplePCT} {
+		rep, err := SampleVerified(context.Background(), tc.spec, sched.DefaultIDs(n),
+			sched.ExploreOptions{Workers: 4, SampleRuns: 2500, SampleMode: mode, Seed: 1}, tc.build)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if rep.Classes != want {
+			t.Errorf("%v: sampled %d distinct classes over %d runs, POR counts %d", mode, rep.Classes, rep.Runs, want)
+		}
+	}
+}
+
+// TestSampleVerifiedReproducibleAcrossWorkers: the task-level entry point
+// preserves the engine's determinism contract — identical reports at 1,
+// 2 and 8 workers for both samplers.
+func TestSampleVerifiedReproducibleAcrossWorkers(t *testing.T) {
+	spec := gsb.Renaming(3, 4)
+	build := func(n int) Solver {
+		return NewSlotRenaming("F2", n, mem.SlotBox("KS", n, n-1, 1))
+	}
+	for _, mode := range []sched.SampleMode{sched.SampleWalk, sched.SamplePCT} {
+		opts := sched.ExploreOptions{SampleRuns: 150, SampleMode: mode, Depth: 3, Seed: 4}
+		opts.Workers = 1
+		want, err := SampleVerified(context.Background(), spec, sched.DefaultIDs(3), opts, build)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if want.Classes < 2 {
+			t.Fatalf("%v: only %d classes; test is vacuous", mode, want.Classes)
+		}
+		for _, workers := range []int{2, 8} {
+			opts.Workers = workers
+			got, err := SampleVerified(context.Background(), spec, sched.DefaultIDs(3), opts, build)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", mode, workers, err)
+			}
+			if got != want {
+				t.Errorf("%v workers=%d: report %+v, want %+v", mode, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestExploreVerifiedDispatchesSampling: ExploreOptions.SampleRuns routes
+// the existing model-checking entry point to the sampling engine.
+func TestExploreVerifiedDispatchesSampling(t *testing.T) {
+	tc := exploreCases(t)[0]
+	n := tc.spec.N()
+	count, err := ExploreVerified(context.Background(), tc.spec, sched.DefaultIDs(n),
+		sched.ExploreOptions{Workers: 2, SampleRuns: 80, Seed: 2}, tc.build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 80 {
+		t.Errorf("count = %d, want the 80 sampled runs", count)
+	}
+}
