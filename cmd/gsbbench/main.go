@@ -16,6 +16,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +51,25 @@ type Entry struct {
 	// ReductionFactor is exhaustive schedules / reduced schedules for
 	// the same protocol, when both are known (0 otherwise).
 	ReductionFactor float64 `json:"reduction_factor,omitempty"`
+	// Budget marks a budget-bounded throughput row: the exploration was
+	// cut off after this many runs (the full tree is infeasible), so
+	// Schedules equals the budget and RunsPerSec is the figure of merit.
+	Budget int `json:"budget,omitempty"`
+	// AllocsPerRun is the whole-pipeline heap-allocation rate of the
+	// measurement: total mallocs (engine + policy + protocol
+	// construction) divided by counted schedules. Like RunsPerSec, under
+	// reduction the numerator includes the allocations of pruned probe
+	// runs that the denominator excludes, so the figure is comparable
+	// only within the same reduction mode. The runner's own steady-state
+	// contribution is pinned at zero by the runner-steady-state gauge
+	// entry; this end-to-end figure tracks everything riding on it.
+	AllocsPerRun float64 `json:"allocs_per_run,omitempty"`
+	// AllocsPerStep is reported by the runner-steady-state gauge entry:
+	// steady-state heap allocations per scheduler step on a reused
+	// runner. The pinned bound keeps it at (numerically) zero, so zero
+	// is omitted like the other optional columns and the gauge's verdict
+	// lives in the entry's presence and its Error field.
+	AllocsPerStep float64 `json:"allocs_per_step,omitempty"`
 	// Classes and Coverage are the sampling coverage columns: distinct
 	// Mazurkiewicz trace classes hit by the batch, and Classes/Runs.
 	Classes  int     `json:"classes,omitempty"`
@@ -78,6 +98,18 @@ type benchCase struct {
 	// the tree an exact multinomial); used for the reduction factor of
 	// fullOnly cases, whose exhaustive walk cannot be executed.
 	analytic int
+	// exhaustBudget > 0 adds a budget-bounded exhaustive throughput row
+	// for a fullOnly case: the walk is cut off after this many runs and
+	// measured for runs/sec, the engine-throughput trajectory number.
+	exhaustBudget int
+}
+
+// mallocs reads the cumulative heap-allocation count (monotonic; GC does
+// not decrease it), for allocs-per-run deltas around a measurement.
+func mallocs() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs
 }
 
 // multinomialSteps returns the number of interleavings of n processes
@@ -110,7 +142,7 @@ func cases(full bool) []benchCase {
 	}
 	boxCase := func(n int) benchCase {
 		spec := repro.Hardest(n, 3)
-		return benchCase{
+		c := benchCase{
 			name:     fmt.Sprintf("box-%d-3", n),
 			n:        n,
 			spec:     spec,
@@ -118,6 +150,13 @@ func cases(full bool) []benchCase {
 			fullOnly: true,
 			analytic: multinomialSteps(n, 2), // box invoke + decide per process
 		}
+		if n == 6 {
+			// The <6,3> exhaustive row: the full 7,484,400-schedule tree
+			// is infeasible in a smoke run, so measure raw engine
+			// throughput over a fixed budget of its runs instead.
+			c.exhaustBudget = 100000
+		}
+		return c
 	}
 	cs = append(cs, boxCase(6))
 	if full {
@@ -161,9 +200,11 @@ func sampleCases(full bool) []benchCase {
 
 func measureSample(c benchCase, workers, runs int, mode repro.SampleMode, depth int) Entry {
 	opts := repro.ExploreOptions{Workers: workers, Seed: 1, SampleRuns: runs, SampleMode: mode, Depth: depth}
+	m0 := mallocs()
 	start := time.Now()
 	rep, err := repro.SampleVerified(context.Background(), c.spec, repro.DefaultIDs(c.n), opts, c.build)
 	elapsed := time.Since(start)
+	m1 := mallocs()
 	e := Entry{
 		Name:       c.name,
 		Task:       c.spec.String(),
@@ -179,6 +220,9 @@ func measureSample(c benchCase, workers, runs int, mode repro.SampleMode, depth 
 	if elapsed > 0 {
 		e.RunsPerSec = float64(rep.Runs) / elapsed.Seconds()
 	}
+	if rep.Runs > 0 {
+		e.AllocsPerRun = float64(m1-m0) / float64(rep.Runs)
+	}
 	if err != nil {
 		e.Error = err.Error()
 	}
@@ -186,24 +230,106 @@ func measureSample(c benchCase, workers, runs int, mode repro.SampleMode, depth 
 }
 
 func measure(c benchCase, workers int, reduction repro.Reduction) Entry {
-	opts := repro.ExploreOptions{Workers: workers, MaxRuns: 1 << 22, Reduction: reduction}
+	return measureOpts(c, workers, repro.ExploreOptions{Workers: workers, MaxRuns: 1 << 22, Reduction: reduction}, false)
+}
+
+// measureBudgeted measures raw exhaustive engine throughput over a fixed
+// run budget of a tree too large to finish; hitting the budget is the
+// expected outcome, not an error.
+func measureBudgeted(c benchCase, workers int) Entry {
+	e := measureOpts(c, workers, repro.ExploreOptions{Workers: workers, MaxRuns: c.exhaustBudget}, true)
+	e.Budget = c.exhaustBudget
+	return e
+}
+
+func measureOpts(c benchCase, workers int, opts repro.ExploreOptions, budgeted bool) Entry {
+	m0 := mallocs()
 	start := time.Now()
 	count, err := repro.ExploreVerified(context.Background(), c.spec, repro.DefaultIDs(c.n), opts, c.build)
 	elapsed := time.Since(start)
+	m1 := mallocs()
+	if budgeted && errors.Is(err, repro.ErrExplorationBudget) {
+		err = nil
+	}
 	e := Entry{
 		Name:       c.name,
 		Task:       c.spec.String(),
 		N:          c.n,
 		Workers:    workers,
-		Reduction:  reduction.String(),
+		Reduction:  opts.Reduction.String(),
 		Schedules:  count,
 		ElapsedSec: elapsed.Seconds(),
 	}
 	if elapsed > 0 {
 		e.RunsPerSec = float64(count) / elapsed.Seconds()
 	}
+	if count > 0 {
+		e.AllocsPerRun = float64(m1-m0) / float64(count)
+	}
 	if err != nil {
 		e.Error = err.Error()
+	}
+	return e
+}
+
+// maxSteadyAllocsPerStep is the pinned bound on the reused runner's
+// steady-state heap allocations per scheduler step. The hot path is
+// designed (and unit-tested, sched.TestReusedRunnerAllocsPerStep) to
+// allocate nothing at all; the gauge fails the bench run — and with it
+// CI's bench-smoke step — if a regression pushes it above this slack.
+const maxSteadyAllocsPerStep = 0.05
+
+// measureRunnerGauge measures the runner's own steady-state allocation
+// rate: a reused runner re-executing a fixed allocation-free body, with
+// total mallocs counted across the batch. This isolates the runner from
+// the exploration engine and protocol constructors that the allocs/run
+// column of the other entries includes.
+func measureRunnerGauge() Entry {
+	const n, k, runs = 4, 8, 2000
+	counter := 0
+	op := func() any { counter++; return nil }
+	body := func(p *repro.Proc) {
+		for i := 0; i < k; i++ {
+			p.Exec("inc", op)
+		}
+		p.Decide(1)
+	}
+	runner := repro.NewRunner(n, repro.DefaultIDs(n), repro.NewRoundRobinPolicy(), repro.WithReuse())
+	defer runner.Close()
+	batch := func(count int) (steps int) {
+		for i := 0; i < count; i++ {
+			res, err := runner.Run(body)
+			if err != nil {
+				panic(err)
+			}
+			steps += res.Steps
+		}
+		return steps
+	}
+	batch(5) // warm-up: buffers reach steady state
+	runtime.GC()
+	m0 := mallocs()
+	start := time.Now()
+	steps := batch(runs)
+	elapsed := time.Since(start)
+	m1 := mallocs()
+
+	e := Entry{
+		Name:          "runner-steady-state",
+		Task:          fmt.Sprintf("counter x%d", k),
+		N:             n,
+		Workers:       1,
+		Mode:          "allocs-gauge",
+		Schedules:     runs,
+		ElapsedSec:    elapsed.Seconds(),
+		AllocsPerRun:  float64(m1-m0) / float64(runs),
+		AllocsPerStep: float64(m1-m0) / float64(steps),
+	}
+	if elapsed > 0 {
+		e.RunsPerSec = float64(runs) / elapsed.Seconds()
+	}
+	if e.AllocsPerStep > maxSteadyAllocsPerStep {
+		e.Error = fmt.Sprintf("steady-state allocs/step %.4f exceeds the pinned bound %.2f", e.AllocsPerStep, maxSteadyAllocsPerStep)
 	}
 	return e
 }
@@ -235,10 +361,24 @@ func main() {
 		} else if c.analytic > 0 && reduced.Error == "" && reduced.Schedules > 0 {
 			reduced.ReductionFactor = float64(c.analytic) / float64(reduced.Schedules)
 		}
+		if c.fullOnly && c.exhaustBudget > 0 {
+			// Raw exhaustive engine throughput over a fixed budget of a
+			// tree too big to finish (the runs/sec trajectory row).
+			budgeted := measureBudgeted(c, w)
+			rep.Entries = append(rep.Entries, budgeted)
+			fmt.Printf("  %-18s n=%d %-12s %8d schedules  %8.0f runs/s  %6.1f allocs/run (budget)\n",
+				c.name, c.n, budgeted.Reduction, budgeted.Schedules, budgeted.RunsPerSec, budgeted.AllocsPerRun)
+		}
 		rep.Entries = append(rep.Entries, reduced)
-		fmt.Printf("  %-18s n=%d %-12s %8d schedules  %8.0f runs/s  factor %.0fx\n",
-			c.name, c.n, reduced.Reduction, reduced.Schedules, reduced.RunsPerSec, reduced.ReductionFactor)
+		fmt.Printf("  %-18s n=%d %-12s %8d schedules  %8.0f runs/s  %6.1f allocs/run  factor %.0fx\n",
+			c.name, c.n, reduced.Reduction, reduced.Schedules, reduced.RunsPerSec, reduced.AllocsPerRun, reduced.ReductionFactor)
 	}
+	// The runner's steady-state allocation gauge: pinned at zero
+	// allocs/step; exceeding the bound fails the bench run (and CI).
+	gauge := measureRunnerGauge()
+	rep.Entries = append(rep.Entries, gauge)
+	fmt.Printf("  %-18s n=%d %-12s %8d runs       %8.0f runs/s  %.4f allocs/step (bound %.2f)\n",
+		gauge.Name, gauge.N, gauge.Mode, gauge.Schedules, gauge.RunsPerSec, gauge.AllocsPerStep, maxSteadyAllocsPerStep)
 	// Statistical sampling: runs/sec plus trace-class coverage on the
 	// instances the enumerating modes cannot complete.
 	sampleRuns := 2000

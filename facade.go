@@ -73,6 +73,11 @@ type (
 	// runs executed, distinct-trace-class coverage, and the replayable
 	// smallest failing run (index + derived seed).
 	SampleReport = sample.Report
+	// ProcessPanics is the panic value Run re-raises when protocol code
+	// panicked: one ProcessPanic per panicking process, in index order,
+	// each carrying the original panic value verbatim.
+	ProcessPanics = sched.ProcessPanics
+	ProcessPanic  = sched.ProcessPanic
 )
 
 // Partial-order reduction levels (ExploreOptions.Reduction).
@@ -92,7 +97,13 @@ const (
 )
 
 var (
-	NewRunner            = sched.NewRunner
+	NewRunner = sched.NewRunner
+	// WithMaxSteps overrides a runner's per-run step budget; WithReuse
+	// keeps its process coroutines parked between runs (Reset re-arms it
+	// per run; the caller must Close), which is the zero-allocation path
+	// the exploration engines use.
+	WithMaxSteps         = sched.WithMaxSteps
+	WithReuse            = sched.WithReuse
 	DefaultIDs           = sched.DefaultIDs
 	NewRoundRobinPolicy  = sched.NewRoundRobin
 	NewRandomPolicy      = sched.NewRandom
@@ -165,7 +176,12 @@ type (
 )
 
 var (
-	Run                            = tasks.Run
+	Run = tasks.Run
+	// RunOn / RunVerifiedOn execute on a caller-owned (typically
+	// reusable) runner re-armed per call — the zero-allocation form of
+	// Run / RunVerified for seed sweeps and other many-run loops.
+	RunOn                          = tasks.RunOn
+	RunVerifiedOn                  = tasks.RunVerifiedOn
 	RunVerified                    = tasks.RunVerified
 	ExploreVerified                = tasks.ExploreVerified
 	SampleVerified                 = tasks.SampleVerified

@@ -143,28 +143,41 @@ type Figure2Row struct {
 func Figure2Experiment(ns []int, runs int) ([]Figure2Row, error) {
 	var rows []Figure2Row
 	for _, n := range ns {
-		spec := gsb.Renaming(n, n+1)
-		row := Figure2Row{N: n, Runs: runs, AllValid: true}
-		totalSteps := 0
-		for seed := int64(0); seed < int64(runs); seed++ {
-			res, err := tasks.RunVerified(spec, sched.DefaultIDs(n), sched.NewRandom(seed),
-				func(n int) tasks.Solver {
-					return tasks.NewSlotRenaming("F2", n, mem.SlotBox("KS", n, n-1, seed))
-				})
-			if err != nil {
-				return nil, fmt.Errorf("harness: n=%d seed=%d: %w", n, seed, err)
-			}
-			totalSteps += res.Steps
-			for i, name := range res.Outputs {
-				if res.Decided[i] && name > row.MaxName {
-					row.MaxName = name
-				}
-			}
+		row, err := figure2Sweep(n, runs)
+		if err != nil {
+			return nil, err
 		}
-		row.MeanSteps = float64(totalSteps) / float64(runs)
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// figure2Sweep runs one n-row of the Figure 2 experiment on a single
+// reusable runner: each seed re-arms it with a fresh policy instead of
+// respawning n process coroutines and reallocating the run state per run.
+func figure2Sweep(n, runs int) (Figure2Row, error) {
+	spec := gsb.Renaming(n, n+1)
+	row := Figure2Row{N: n, Runs: runs, AllValid: true}
+	totalSteps := 0
+	runner := sched.NewRunner(n, sched.DefaultIDs(n), nil, sched.WithMaxSteps(tasks.DefaultRunMaxSteps), sched.WithReuse())
+	defer runner.Close()
+	for seed := int64(0); seed < int64(runs); seed++ {
+		res, err := tasks.RunVerifiedOn(spec, runner, sched.NewRandom(seed),
+			func(n int) tasks.Solver {
+				return tasks.NewSlotRenaming("F2", n, mem.SlotBox("KS", n, n-1, seed))
+			})
+		if err != nil {
+			return row, fmt.Errorf("harness: n=%d seed=%d: %w", n, seed, err)
+		}
+		totalSteps += res.Steps
+		for i, name := range res.Outputs {
+			if res.Decided[i] && name > row.MaxName {
+				row.MaxName = name
+			}
+		}
+	}
+	row.MeanSteps = float64(totalSteps) / float64(runs)
+	return row, nil
 }
 
 // Figure2Text renders the Figure 2 experiment rows.

@@ -3,6 +3,8 @@ package mem
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/gsb"
 	"repro/internal/sched"
@@ -24,11 +26,33 @@ type TaskBox struct {
 	invoked    []bool
 }
 
-// NewTaskBox allocates an oracle for spec. The seed selects the legal
-// output multiset and its hand-out order.
-func NewTaskBox(name string, spec gsb.Spec, seed int64) *TaskBox {
-	if !spec.Feasible() {
-		panic(fmt.Sprintf("mem: task box for infeasible spec %v", spec))
+// boxDraws memoizes drawn assignments. The draw is a pure function of
+// (spec, seed) — Spec.String renders n and the full bound vectors, so it
+// is a faithful key — and the exploration engines construct the same box
+// once per re-executed run, millions of times: without the memo the
+// math/rand seeding alone dominated the whole exploration hot path. A
+// sync.Map fits the read-mostly pattern (millions of lock-free hits from
+// concurrent workers, a handful of inserts); the cached slice is shared
+// read-only between box instances (Invoke only reads it) and the cache is
+// capped as a safety valve for callers that sweep unboundedly many seeds.
+var (
+	boxDraws     sync.Map // boxDrawKey -> []int
+	boxDrawCount atomic.Int64
+)
+
+type boxDrawKey struct {
+	spec string
+	seed int64
+}
+
+const boxDrawCacheMax = 1 << 14
+
+// drawAssignment picks the box's legal output multiset and hand-out order:
+// uniformly over the task's counting vectors, then a seeded shuffle.
+func drawAssignment(spec gsb.Spec, seed int64) []int {
+	key := boxDrawKey{spec: spec.String(), seed: seed}
+	if v, ok := boxDraws.Load(key); ok {
+		return v.([]int)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	counting := spec.CountingVectors()
@@ -42,10 +66,40 @@ func NewTaskBox(name string, spec gsb.Spec, seed int64) *TaskBox {
 	rng.Shuffle(len(assignment), func(i, j int) {
 		assignment[i], assignment[j] = assignment[j], assignment[i]
 	})
+	if v, loaded := boxDraws.LoadOrStore(key, assignment); loaded {
+		return v.([]int) // another worker drew it first; share one slice
+	}
+	if boxDrawCount.Add(1) > boxDrawCacheMax {
+		// Over capacity: evict an arbitrary other entry rather than
+		// refusing inserts — a refused hot key (one box constructed per
+		// re-executed run) would re-seed and re-draw forever, while an
+		// evicted hot key is simply re-inserted on its next run.
+		boxDraws.Range(func(k, _ any) bool {
+			if k == key {
+				return true
+			}
+			// Only the goroutine that actually removed the entry may
+			// decrement, or racing evictors of one victim would
+			// undercount the map and erode the cap.
+			if _, removed := boxDraws.LoadAndDelete(k); removed {
+				boxDrawCount.Add(-1)
+			}
+			return false
+		})
+	}
+	return assignment
+}
+
+// NewTaskBox allocates an oracle for spec. The seed selects the legal
+// output multiset and its hand-out order.
+func NewTaskBox(name string, spec gsb.Spec, seed int64) *TaskBox {
+	if !spec.Feasible() {
+		panic(fmt.Sprintf("mem: task box for infeasible spec %v", spec))
+	}
 	return &TaskBox{
 		name:       name,
 		spec:       spec,
-		assignment: assignment,
+		assignment: drawAssignment(spec, seed),
 		invoked:    make([]bool, spec.N()),
 	}
 }

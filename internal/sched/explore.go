@@ -132,7 +132,10 @@ func ExploreAll(n int, ids []int, maxRuns, maxSteps int, build func() Body, chec
 // ExploreSequential is the historical LIFO-stack depth-first exploration,
 // kept as the reference implementation: the parallel engine is
 // differentially tested and benchmarked against it. Semantics are those
-// of ExploreAll.
+// of ExploreAll. It deliberately constructs a fresh Runner per run —
+// unlike the parallel engine, whose workers reuse one runner each via
+// Reset — so the differential tests double as a reuse-versus-fresh
+// equivalence check.
 func ExploreSequential(n int, ids []int, maxRuns, maxSteps int, build func() Body, check func(*Result) error) (int, error) {
 	stack := [][]int{{}}
 	runs := 0

@@ -332,6 +332,11 @@ func (e *explorer) worker(w int) {
 	// The rng only picks steal victims; exploration results never depend
 	// on it (see the determinism contract above).
 	rng := rand.New(rand.NewSource(int64(uint64(e.opts.Seed) ^ 0x9e3779b97f4a7c15*uint64(w+1))))
+	// One reusable runner per worker: Reset re-arms it for every prefix
+	// re-execution, so the steady-state hot path allocates nothing but
+	// the per-run policy and protocol instance.
+	runner := NewRunner(e.n, e.ids, nil, WithMaxSteps(e.opts.MaxSteps), WithReuse())
+	defer runner.Close()
 	idle := 0
 	for {
 		if e.ctx.Err() != nil {
@@ -354,7 +359,7 @@ func (e *explorer) worker(w int) {
 			continue
 		}
 		idle = 0
-		e.process(w, item)
+		e.process(w, item, runner)
 		e.pending.Add(-1)
 	}
 }
@@ -431,9 +436,9 @@ func (e *explorer) recordFailure(choices []int, err error) {
 	}
 }
 
-// process executes the run scripted by item's prefix and pushes its
-// unexplored sibling prefixes.
-func (e *explorer) process(w int, item frontierItem) {
+// process executes the run scripted by item's prefix on the worker's
+// reused runner and pushes its unexplored sibling prefixes.
+func (e *explorer) process(w int, item frontierItem, runner *Runner) {
 	if b := e.pruneBound(); b != nil && !prefixViable(item.choices, b) {
 		return
 	}
@@ -449,7 +454,7 @@ func (e *explorer) process(w int, item frontierItem) {
 	} else {
 		policy = &explorePolicy{prefix: item.choices}
 	}
-	runner := NewRunner(e.n, e.ids, policy, WithMaxSteps(e.opts.MaxSteps))
+	runner.Reset(policy)
 	res, err := runner.Run(e.build())
 	switch {
 	case errors.Is(err, ErrRunAborted):

@@ -30,6 +30,11 @@ type Decision struct {
 // of process indexes with a pending operation; stepNo is the number of
 // operation steps granted so far. Policies must be deterministic functions
 // of their own state so that runs are reproducible.
+//
+// The pending slice (and the ops slice of OpAwarePolicy) is the runner's
+// reusable scratch buffer: it is valid only for the duration of the call
+// and is overwritten by the next decision. Policies that keep it must
+// copy it (every recording policy in this repository does).
 type Policy interface {
 	Next(pending []int, stepNo int) Decision
 }

@@ -121,6 +121,11 @@ func ExploreSeeded(ctx context.Context, n int, ids []int, opts ExploreOptions, r
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One reusable runner per worker: Reset re-arms it with run
+			// i's derived policy, so the steady-state per-run cost is the
+			// policy, the protocol instance, and nothing else.
+			runner := NewRunner(n, ids, nil, WithMaxSteps(opts.MaxSteps), WithReuse())
+			defer runner.Close()
 			for {
 				if ctx.Err() != nil {
 					return
@@ -135,7 +140,7 @@ func ExploreSeeded(ctx context.Context, n int, ids []int, opts ExploreOptions, r
 					// order, so returning drains the pool.
 					return
 				}
-				runner := NewRunner(n, ids, policyFor(i), WithMaxSteps(opts.MaxSteps))
+				runner.Reset(policyFor(i))
 				res, err := runner.Run(build())
 				completed.Add(1)
 				if verr := visit(i, res, err); verr != nil {

@@ -38,11 +38,27 @@ func Body(s Solver) sched.Body {
 	}
 }
 
+// DefaultRunMaxSteps is the generous per-run step budget Run applies (and
+// run loops that build their own reusable runner, e.g. the harness seed
+// sweeps, should apply) to single verified runs.
+const DefaultRunMaxSteps = 1 << 21
+
 // Run executes build(n) once under the given identities and policy with a
 // generous step budget, and returns the recorded result.
 func Run(n int, ids []int, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
-	runner := sched.NewRunner(n, ids, policy, sched.WithMaxSteps(1<<21))
+	runner := sched.NewRunner(n, ids, policy, sched.WithMaxSteps(DefaultRunMaxSteps))
 	return runner.Run(Body(build(n)))
+}
+
+// RunOn executes build(n) on a caller-owned runner after re-arming it
+// with policy (sched.Runner.Reset). With a reusable runner (NewRunner
+// with sched.WithReuse) this is the zero-allocation form of Run for loops
+// that execute many runs: the runner's buffers, Result and process
+// goroutines are reused across calls, so the returned Result is only
+// valid until the runner's next run.
+func RunOn(runner *sched.Runner, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
+	runner.Reset(policy)
+	return runner.Run(Body(build(runner.N())))
 }
 
 // RunVerified runs the protocol and checks its outputs against spec:
@@ -50,6 +66,17 @@ func Run(n int, ids []int, policy sched.Policy, build func(n int) Solver) (*sche
 // produce a legal completable prefix.
 func RunVerified(spec gsb.Spec, ids []int, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
 	res, err := Run(spec.N(), ids, policy, build)
+	if err != nil {
+		return res, err
+	}
+	return res, verifyResult(spec, res)
+}
+
+// RunVerifiedOn is RunVerified on a caller-owned (typically reusable)
+// runner: run the protocol via RunOn, then check the outputs against
+// spec. The Result-lifetime caveat of RunOn applies.
+func RunVerifiedOn(spec gsb.Spec, runner *sched.Runner, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
+	res, err := RunOn(runner, policy, build)
 	if err != nil {
 		return res, err
 	}
