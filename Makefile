@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: all build test race bench lint fmt
+.PHONY: all build test race bench bench-compare lint staticcheck govulncheck check fmt
 
 all: build lint test
+
+# check is the single local entry point mirroring CI: build, vet/gofmt,
+# static analysis (skipped with a notice when the tools are not
+# installed), vulnerability scan, tests. CI runs the same make targets.
+check: build lint staticcheck govulncheck test
 
 build:
 	$(GO) build ./...
@@ -15,16 +20,44 @@ race:
 
 # Benchmark smoke: compile and execute every benchmark once, then emit
 # the machine-readable exploration report (schedule counts, runs/sec,
-# partial-order-reduction factors) tracked across PRs.
+# partial-order-reduction factors) tracked across PRs. This regenerates
+# the committed baseline BENCH_sched.json.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) run ./cmd/gsbbench -out BENCH_sched.json
+
+# Benchmark regression gate: measure into BENCH_ci.json and fail on
+# throughput drops (>25%), allocs-per-run growth, or schedule/class count
+# drift against the committed BENCH_sched.json baseline. CI's bench-smoke
+# job runs this; regenerate the baseline with `make bench` when a change
+# legitimately moves the numbers. Baseline policy: the schedule/class and
+# allocs columns are machine-independent and gate hard; runs/sec is
+# environmental, so regenerate the baseline on a machine no faster than
+# the CI runners (a slower box only loosens the throughput gate, never
+# tightens it) or raise -max-drop when runners change generation.
+bench-compare:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) run ./cmd/gsbbench -out BENCH_ci.json -compare BENCH_sched.json
 
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 fmt:

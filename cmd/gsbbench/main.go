@@ -7,10 +7,23 @@
 // Usage:
 //
 //	gsbbench [-out BENCH_sched.json] [-workers 0] [-full]
+//	gsbbench -out BENCH_ci.json -compare BENCH_sched.json
 //
 // The default profile finishes in seconds; -full adds the larger
 // explorations that partial-order reduction makes newly reachable
 // (slot-renaming n=4, the <7,3> oracle-box instance).
+//
+// -compare turns the run into a regression gate against a baseline
+// report (the committed BENCH_sched.json): after measuring, each entry
+// is matched to the baseline entry with the same name/mode/reduction and
+// the run fails if throughput dropped more than -max-drop (default 25%),
+// if allocs-per-run grew beyond -max-allocs-growth, or if a
+// deterministic column (schedule or class count) changed at all —
+// determinism drift is a correctness regression, not noise. Baseline
+// entries with no current counterpart fail the gate too (a vanished
+// benchmark is a silent hole in coverage). A legitimate change to the
+// measured set or counts means regenerating the baseline with
+// `make bench`.
 package main
 
 import (
@@ -21,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro"
@@ -334,10 +348,70 @@ func measureRunnerGauge() Entry {
 	return e
 }
 
+// entryKey identifies an entry across reports: the measurement's name
+// and configuration, excluding machine-dependent fields (worker count
+// follows GOMAXPROCS, so it is part of the environment, not the
+// measurement identity).
+func entryKey(e Entry) string {
+	return fmt.Sprintf("%s|%s|%s|%d", e.Name, e.Mode, e.Reduction, e.Budget)
+}
+
+// compareReports gates the current report against a baseline: returns
+// the list of regressions (empty means the gate passes). Throughput may
+// drop up to maxDrop (relative); allocs-per-run may grow up to
+// maxAllocsGrowth (relative, plus half an allocation of absolute slack
+// for counter noise); deterministic columns — schedule and class counts —
+// must match exactly. The runner-steady-state gauge entry is excluded:
+// its own pinned bound already gates it, in absolute terms.
+func compareReports(cur, base Report, maxDrop, maxAllocsGrowth float64) (failures, notes []string) {
+	current := make(map[string]Entry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		if e.Mode == "allocs-gauge" {
+			continue
+		}
+		current[entryKey(e)] = e
+	}
+	for _, b := range base.Entries {
+		if b.Mode == "allocs-gauge" {
+			continue
+		}
+		key := entryKey(b)
+		c, ok := current[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in the baseline but not measured now (coverage hole)", key))
+			continue
+		}
+		delete(current, key)
+		if c.Schedules != b.Schedules {
+			failures = append(failures, fmt.Sprintf("%s: schedule count %d, baseline %d (determinism drift)", key, c.Schedules, b.Schedules))
+		}
+		if c.Classes != b.Classes {
+			failures = append(failures, fmt.Sprintf("%s: class count %d, baseline %d (determinism drift)", key, c.Classes, b.Classes))
+		}
+		if b.RunsPerSec > 0 && c.RunsPerSec < b.RunsPerSec*(1-maxDrop) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f runs/s, down %.0f%% from the baseline's %.0f (limit %.0f%%)",
+				key, c.RunsPerSec, 100*(1-c.RunsPerSec/b.RunsPerSec), b.RunsPerSec, 100*maxDrop))
+		}
+		if c.AllocsPerRun > b.AllocsPerRun*(1+maxAllocsGrowth)+0.5 {
+			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/run, up from the baseline's %.1f (limit +%.0f%%)",
+				key, c.AllocsPerRun, b.AllocsPerRun, 100*maxAllocsGrowth))
+		}
+	}
+	for key := range current {
+		notes = append(notes, fmt.Sprintf("%s: new entry with no baseline (regenerate the baseline to start tracking it)", key))
+	}
+	sort.Strings(failures)
+	sort.Strings(notes)
+	return failures, notes
+}
+
 func main() {
 	out := flag.String("out", "BENCH_sched.json", "output path for the JSON report")
 	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS)")
 	full := flag.Bool("full", false, "include the larger explorations (slower)")
+	compare := flag.String("compare", "", "baseline report to regression-gate against (fail on throughput drops, allocs growth, or count drift)")
+	maxDrop := flag.Float64("max-drop", 0.25, "with -compare, the largest tolerated relative runs/sec drop")
+	maxAllocsGrowth := flag.Float64("max-allocs-growth", 0.02, "with -compare, the largest tolerated relative allocs-per-run growth (the noise floor on 'any increase fails')")
 	flag.Parse()
 
 	w := *workers
@@ -423,6 +497,34 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d entries)\n", *out, len(rep.Entries))
+
+	if *compare != "" {
+		bf, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbbench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(bf, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbbench: baseline %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		if base.Schema != rep.Schema {
+			fmt.Fprintf(os.Stderr, "gsbbench: baseline %s has schema %q, this build writes %q (regenerate the baseline)\n", *compare, base.Schema, rep.Schema)
+			os.Exit(1)
+		}
+		failures, notes := compareReports(rep, base, *maxDrop, *maxAllocsGrowth)
+		for _, n := range notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "gsbbench: regression vs %s: %s\n", *compare, f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions vs %s (max runs/sec drop %.0f%%, max allocs growth %.0f%%)\n", *compare, 100**maxDrop, 100**maxAllocsGrowth)
+	}
 	if failed {
 		os.Exit(1)
 	}

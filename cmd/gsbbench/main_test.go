@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func entry(name, mode, reduction string, schedules, classes int, runsPerSec, allocs float64) Entry {
+	return Entry{
+		Name: name, Mode: mode, Reduction: reduction,
+		Schedules: schedules, Classes: classes,
+		RunsPerSec: runsPerSec, AllocsPerRun: allocs,
+	}
+}
+
+// TestCompareReports covers the regression gate's decision table:
+// throughput drops beyond the limit fail, small drops pass, any
+// meaningful allocs growth fails, schedule/class drift fails regardless
+// of performance, vanished baseline entries fail, new entries only note,
+// and the allocs gauge is excluded.
+func TestCompareReports(t *testing.T) {
+	base := Report{Schema: "gsb-bench/v1", Entries: []Entry{
+		entry("box-6-3", "", "sleep-sets", 720, 0, 1000, 100),
+		entry("slot-renaming-6", "sample-walk", "", 2000, 1980, 5000, 50),
+		{Name: "runner-steady-state", Mode: "allocs-gauge", Schedules: 2000, RunsPerSec: 90000, AllocsPerStep: 0},
+	}}
+
+	cases := []struct {
+		name     string
+		mutate   func(*Report)
+		wantFail string // substring of a failure, "" means the gate passes
+		wantNote string
+	}{
+		{"identical", func(*Report) {}, "", ""},
+		{"small-drop-ok", func(r *Report) { r.Entries[0].RunsPerSec = 800 }, "", ""},
+		{"big-drop-fails", func(r *Report) { r.Entries[0].RunsPerSec = 700 }, "down 30%", ""},
+		{"allocs-growth-fails", func(r *Report) { r.Entries[0].AllocsPerRun = 110 }, "allocs/run", ""},
+		{"allocs-noise-ok", func(r *Report) { r.Entries[0].AllocsPerRun = 100.4 }, "", ""},
+		{"schedule-drift-fails", func(r *Report) { r.Entries[0].Schedules = 719 }, "determinism drift", ""},
+		{"class-drift-fails", func(r *Report) { r.Entries[1].Classes = 1979 }, "determinism drift", ""},
+		{"missing-entry-fails", func(r *Report) { r.Entries = r.Entries[1:] }, "coverage hole", ""},
+		{"new-entry-notes", func(r *Report) {
+			r.Entries = append(r.Entries, entry("new-case", "", "none", 10, 0, 1, 1))
+		}, "", "no baseline"},
+		{"gauge-excluded", func(r *Report) { r.Entries[2].RunsPerSec = 1 }, "", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := Report{Schema: base.Schema}
+			cur.Entries = append([]Entry(nil), base.Entries...)
+			tc.mutate(&cur)
+			failures, notes := compareReports(cur, base, 0.25, 0.02)
+			if tc.wantFail == "" && len(failures) > 0 {
+				t.Errorf("unexpected failures: %v", failures)
+			}
+			if tc.wantFail != "" && !strings.Contains(strings.Join(failures, "\n"), tc.wantFail) {
+				t.Errorf("failures %v do not mention %q", failures, tc.wantFail)
+			}
+			if tc.wantNote != "" && !strings.Contains(strings.Join(notes, "\n"), tc.wantNote) {
+				t.Errorf("notes %v do not mention %q", notes, tc.wantNote)
+			}
+		})
+	}
+}

@@ -1,0 +1,353 @@
+// Command gsbcampaign runs durable, resumable, shardable verification
+// campaigns: any of the repository's verification modes (exhaustive or
+// partial-order-reduced exploration, random-walk or PCT sampling, crash
+// sweeps) executed with periodic checkpoints to a versioned snapshot
+// file, so a long run survives kills, splits across machines, and merges
+// back into exactly the report an uninterrupted single process produces.
+//
+// Usage:
+//
+//	gsbcampaign start  -ckpt run.ckpt -protocol slot-renaming -n 4 -mode por [-every 5000] [-shard 0/3]
+//	gsbcampaign resume -ckpt run.ckpt [-workers 8] [-every 5000]
+//	gsbcampaign status -ckpt run.ckpt [-json]
+//	gsbcampaign merge  shard0.ckpt shard1.ckpt shard2.ckpt
+//
+// Modes (-mode): exhaustive, por, por-memo (enumerating; one schedule
+// per interleaving / trace class), walk, pct (statistical sampling of
+// -runs schedules), crash (randomized crash sweep of -runs runs).
+//
+// SIGINT/SIGTERM pause the campaign at the next checkpoint boundary: the
+// engine stops claiming new work, finishes the runs in flight, writes the
+// snapshot, and exits with code 3. A SIGKILL (or power loss) loses at
+// most the work since the last periodic checkpoint — `resume` continues
+// from the snapshot exactly, never re-counting or skipping a schedule.
+// Resuming under changed campaign options fails loudly (the snapshot
+// header carries an options hash); worker count and checkpoint interval
+// may change freely across resumes.
+//
+// Exit codes: 0 verified, 1 violation or operational error, 2 usage,
+// 3 paused at a checkpoint (resume to continue).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro"
+)
+
+// recordSchema versions the -json output records of start/resume/merge.
+const recordSchema = "gsbcampaign/v1"
+
+// record is the machine-readable outcome of a campaign command.
+type record struct {
+	Schema string `json:"schema"`
+	repro.CampaignReport
+	Paused bool   `json:"paused,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+const (
+	exitOK     = 0
+	exitFailed = 1
+	exitUsage  = 2
+	exitPaused = 3
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(exitUsage)
+	}
+	switch os.Args[1] {
+	case "start":
+		os.Exit(cmdStart(os.Args[2:]))
+	case "resume":
+		os.Exit(cmdResume(os.Args[2:]))
+	case "status":
+		os.Exit(cmdStatus(os.Args[2:]))
+	case "merge":
+		os.Exit(cmdMerge(os.Args[2:]))
+	case "-h", "-help", "--help", "help":
+		usage()
+		os.Exit(exitOK)
+	default:
+		fmt.Fprintf(os.Stderr, "gsbcampaign: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(exitUsage)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gsbcampaign start  -ckpt FILE -protocol NAME -n N -mode MODE [flags]
+  gsbcampaign resume -ckpt FILE [-workers W] [-every RUNS] [-json]
+  gsbcampaign status -ckpt FILE [-json]
+  gsbcampaign merge  [-json] SHARD.ckpt...
+modes: exhaustive | por | por-memo | walk | pct | crash
+run 'gsbcampaign start -h' for the start flags`)
+}
+
+// parseShard parses "i/m" into (shard, of).
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("-shard wants i/m (e.g. 0/3), got %q", s)
+	}
+	shard, err1 := strconv.Atoi(s[:i])
+	of, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || of < 1 || shard < 0 || shard >= of {
+		return 0, 0, fmt.Errorf("-shard wants i/m with 0 <= i < m, got %q", s)
+	}
+	return shard, of, nil
+}
+
+// optionsForMode builds the campaign's exploration options.
+func optionsForMode(mode string, runs, pctDepth, workers, maxRuns, maxSteps int, seed int64, crashProb float64) (repro.ExploreOptions, error) {
+	opts := repro.ExploreOptions{Workers: workers, Seed: seed, MaxRuns: maxRuns, MaxSteps: maxSteps}
+	switch mode {
+	case "exhaustive":
+	case "por":
+		opts.Reduction = repro.ReductionSleepSets
+	case "por-memo":
+		opts.Reduction = repro.ReductionSleepMemo
+	case "walk":
+		opts.SampleRuns = runs
+	case "pct":
+		opts.SampleRuns = runs
+		opts.SampleMode = repro.SamplePCT
+		opts.Depth = pctDepth
+	case "crash":
+		opts.CrashRuns = runs
+		opts.CrashProb = crashProb
+	default:
+		return opts, fmt.Errorf("unknown mode %q (want exhaustive, por, por-memo, walk, pct or crash)", mode)
+	}
+	if (mode == "walk" || mode == "pct" || mode == "crash") && runs <= 0 {
+		return opts, fmt.Errorf("mode %s needs -runs > 0", mode)
+	}
+	return opts, nil
+}
+
+// signalContext returns a context canceled by SIGINT/SIGTERM: the
+// campaign loop sees the cancellation as a pause request and writes a
+// checkpoint before exiting.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+func cmdStart(args []string) int {
+	fs := flag.NewFlagSet("gsbcampaign start", flag.ExitOnError)
+	ckpt := fs.String("ckpt", "", "snapshot file (required)")
+	protocol := fs.String("protocol", "slot-renaming", "protocol to verify (see gsbrun)")
+	n := fs.Int("n", 4, "number of processes")
+	mode := fs.String("mode", "exhaustive", "verification mode: exhaustive | por | por-memo | walk | pct | crash")
+	runs := fs.Int("runs", 0, "sampled/swept runs (walk, pct and crash modes)")
+	pctDepth := fs.Int("pct-depth", 0, "PCT bug depth (pct mode; 0 = default)")
+	crashProb := fs.Float64("crash", 0.05, "per-decision crash probability (crash mode)")
+	seed := fs.Int64("seed", 1, "campaign seed (oracle draws and per-run schedule seeds)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	maxRuns := fs.Int("maxruns", 0, "exploration run budget (0 = default)")
+	maxSteps := fs.Int("maxsteps", 0, "per-run step budget (0 = default)")
+	every := fs.Int("every", 0, "checkpoint interval in runs (0 = default)")
+	shardSpec := fs.String("shard", "", "run shard i of m (\"i/m\"); every shard gets its own -ckpt file")
+	force := fs.Bool("force", false, "overwrite an existing snapshot file")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON record")
+	fs.Parse(args)
+
+	if *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "gsbcampaign start: -ckpt is required")
+		return exitUsage
+	}
+	if *n < 2 {
+		fmt.Fprintln(os.Stderr, "gsbcampaign start: need n >= 2")
+		return exitUsage
+	}
+	shard, of, err := parseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbcampaign start: %v\n", err)
+		return exitUsage
+	}
+	opts, err := optionsForMode(*mode, *runs, *pctDepth, *workers, *maxRuns, *maxSteps, *seed, *crashProb)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbcampaign start: %v\n", err)
+		return exitUsage
+	}
+	spec, build, err := repro.SelectProtocol(*protocol, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbcampaign start: %v\n", err)
+		return exitUsage
+	}
+	cfg := repro.CampaignConfig{
+		Protocol: *protocol, Spec: spec, Opts: opts, Build: build,
+		Shard: shard, Of: of, CheckpointEvery: *every, Path: *ckpt, Force: *force,
+	}
+	ctx, cancel := signalContext()
+	defer cancel()
+	rep, err := repro.RunCampaign(ctx, cfg)
+	return report(rep, err, *jsonOut)
+}
+
+// resumeConfig rebuilds a campaign config from a snapshot header: the
+// protocol registry plus the header's recorded options. The library
+// re-verifies the options hash, so drift between the snapshot and this
+// binary's protocol definitions fails loudly.
+func resumeConfig(path string, workers, every int) (repro.CampaignConfig, error) {
+	h, err := repro.CampaignStatus(path)
+	if err != nil {
+		return repro.CampaignConfig{}, err
+	}
+	opts := h.ExploreOptions()
+	opts.Workers = workers
+	spec, build, err := repro.SelectProtocol(h.Protocol, h.N, opts.Seed)
+	if err != nil {
+		return repro.CampaignConfig{}, fmt.Errorf("snapshot protocol: %w", err)
+	}
+	return repro.CampaignConfig{
+		Protocol: h.Protocol, Spec: spec, IDs: h.IDs, Opts: opts, Build: build,
+		Shard: h.Shard, Of: h.Of, CheckpointEvery: every, Path: path,
+	}, nil
+}
+
+func cmdResume(args []string) int {
+	fs := flag.NewFlagSet("gsbcampaign resume", flag.ExitOnError)
+	ckpt := fs.String("ckpt", "", "snapshot file (required)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	every := fs.Int("every", 0, "checkpoint interval in runs (0 = default)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON record")
+	fs.Parse(args)
+
+	if *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "gsbcampaign resume: -ckpt is required")
+		return exitUsage
+	}
+	cfg, err := resumeConfig(*ckpt, *workers, *every)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbcampaign resume: %v\n", err)
+		return exitFailed
+	}
+	ctx, cancel := signalContext()
+	defer cancel()
+	rep, err := repro.ResumeCampaign(ctx, cfg)
+	return report(rep, err, *jsonOut)
+}
+
+func cmdStatus(args []string) int {
+	fs := flag.NewFlagSet("gsbcampaign status", flag.ExitOnError)
+	ckpt := fs.String("ckpt", "", "snapshot file (required)")
+	jsonOut := fs.Bool("json", false, "emit the snapshot header as JSON")
+	fs.Parse(args)
+
+	if *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "gsbcampaign status: -ckpt is required")
+		return exitUsage
+	}
+	h, err := repro.CampaignStatus(*ckpt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbcampaign status: %v\n", err)
+		return exitFailed
+	}
+	if *jsonOut {
+		b, jerr := json.Marshal(h)
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "gsbcampaign status: %v\n", jerr)
+			return exitFailed
+		}
+		fmt.Println(string(b))
+		return exitOK
+	}
+	state := "in progress"
+	if h.Done {
+		state = "done"
+	}
+	fmt.Printf("campaign %s shard %d/%d: %s on %s (n=%d, seed %d, hash %s)\n",
+		h.Mode, h.Shard, h.Of, state, h.Task, h.N, h.Options.Seed, h.OptionsHash)
+	fmt.Printf("  protocol %s, %d runs done", h.Protocol, h.Runs)
+	if h.Frontier > 0 {
+		fmt.Printf(", %d frontier prefixes unexplored", h.Frontier)
+	}
+	fmt.Printf(", updated %s\n", h.Updated)
+	if h.Result != nil {
+		if h.Result.Violation != "" {
+			fmt.Printf("  verdict: VIOLATION after %d schedules: %s\n", h.Result.Schedules, h.Result.Violation)
+		} else {
+			fmt.Printf("  verdict: %d schedules verified\n", h.Result.Schedules)
+		}
+	}
+	return exitOK
+}
+
+func cmdMerge(args []string) int {
+	fs := flag.NewFlagSet("gsbcampaign merge", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON record")
+	workers := fs.Int("workers", 0, "worker goroutines for the merge's counting pass (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	paths := fs.Args()
+
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "gsbcampaign merge: need at least one snapshot path")
+		return exitUsage
+	}
+	cfg, err := resumeConfig(paths[0], *workers, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbcampaign merge: %v\n", err)
+		return exitFailed
+	}
+	rep, err := repro.MergeCampaigns(context.Background(), cfg, paths)
+	return report(rep, err, *jsonOut)
+}
+
+// report renders a campaign outcome and picks the exit code.
+func report(rep repro.CampaignReport, err error, jsonOut bool) int {
+	paused := errors.Is(err, repro.ErrCampaignPaused)
+	if jsonOut {
+		rec := record{Schema: recordSchema, CampaignReport: rep, Paused: paused}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		b, jerr := json.Marshal(rec)
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "gsbcampaign: %v\n", jerr)
+			return exitFailed
+		}
+		fmt.Println(string(b))
+	}
+	switch {
+	case paused:
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "gsbcampaign: %v\n", err)
+		}
+		return exitPaused
+	case err != nil && rep.Done:
+		// A finished campaign whose verdict is a violation.
+		if !jsonOut {
+			fmt.Printf("campaign %s shard %d/%d: VIOLATION after %d schedules\n  %v\n", rep.Mode, rep.Shard, rep.Of, rep.Schedules, err)
+		}
+		return exitFailed
+	case err != nil:
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "gsbcampaign: %v\n", err)
+		}
+		return exitFailed
+	default:
+		if !jsonOut {
+			fmt.Printf("campaign %s shard %d/%d: %d schedules verified on %s", rep.Mode, rep.Shard, rep.Of, rep.Schedules, rep.Task)
+			if rep.Classes > 0 {
+				fmt.Printf(" (%d distinct trace classes, %.1f%% coverage)", rep.Classes, 100*rep.Coverage)
+			}
+			fmt.Println()
+		}
+		return exitOK
+	}
+}

@@ -81,6 +81,18 @@ func main() {
 	}
 	fmt.Print(repro.SampleText(append(walkRows, pctRows...)))
 
+	fmt.Println("\n== Durable campaigns: kill/resume and 3-shard merge resilience ==")
+	campaignRuns := 300
+	if *full {
+		campaignRuns = 2000
+	}
+	campRows, err := repro.CampaignExperiment(3, *workers, campaignRuns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(repro.CampaignText(campRows))
+
 	fmt.Println("\n== Theorem 8: universality of perfect renaming ==")
 	nMax := 6
 	if *full {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("GSB_CLI_UNDER_TEST") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runSelf(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GSB_CLI_UNDER_TEST=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	var ee *exec.ExitError
+	switch {
+	case err == nil:
+	case errors.As(err, &ee):
+		code = ee.ExitCode()
+	default:
+		t.Fatalf("exec: %v", err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestGsbexperimentsInvalidFlags: bad flags exit with a usage diagnostic
+// before any experiment runs (the suite itself takes seconds; an invalid
+// invocation must not start it).
+func TestGsbexperimentsInvalidFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"undefined-flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"malformed-workers", []string{"-workers", "x"}, "invalid value"},
+		{"malformed-bool", []string{"-full=maybe"}, "invalid boolean value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := runSelf(t, tc.args...)
+			if code != 2 {
+				t.Errorf("args %v: exit %d, want 2\nstdout: %s\nstderr: %s", tc.args, code, stdout, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantMsg) {
+				t.Errorf("args %v: stderr %q does not mention %q", tc.args, stderr, tc.wantMsg)
+			}
+			if !strings.Contains(stderr, "Usage") {
+				t.Errorf("args %v: stderr lacks a usage message:\n%s", tc.args, stderr)
+			}
+		})
+	}
+}

@@ -50,10 +50,17 @@ import (
 	"repro"
 )
 
+// recordSchema versions the -json record format, so downstream consumers
+// (the bench compare gate, campaign tooling, dashboards) can detect
+// format drift instead of misparsing silently. Bump on any incompatible
+// field change.
+const recordSchema = "gsbrun/v1"
+
 // record is the machine-readable result of one gsbrun invocation mode
 // (-json): one record per sampled/explored batch, or one per run in
 // seeded-run mode.
 type record struct {
+	Schema   string `json:"schema"`
 	Protocol string `json:"protocol"`
 	Task     string `json:"task"`
 	Mode     string `json:"mode"` // run | explore | crash-sweep | sample-walk | sample-pct
@@ -84,6 +91,7 @@ type record struct {
 }
 
 func emitJSON(rec record) error {
+	rec.Schema = recordSchema
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -177,40 +185,10 @@ func flagSet(name string) bool {
 	return set
 }
 
-// selectProtocol maps a -protocol name to its task spec and constructor.
+// selectProtocol maps a -protocol name to its task spec and constructor:
+// the registry shared with cmd/gsbcampaign (repro.SelectProtocol).
 func selectProtocol(protocol string, n int, seed int64) (repro.Spec, func(n int) repro.Solver, error) {
-	switch protocol {
-	case "renaming":
-		return repro.Renaming(n, 2*n-1),
-			func(n int) repro.Solver { return repro.NewSnapshotRenaming("R", n) }, nil
-	case "grid":
-		return repro.Renaming(n, n*(n+1)/2),
-			func(n int) repro.Solver { return repro.NewGridRenaming("G", n) }, nil
-	case "slot-renaming":
-		return repro.Renaming(n, n+1), func(n int) repro.Solver {
-			return repro.NewSlotRenaming("F2", n, repro.SlotBox("KS", n, n-1, seed))
-		}, nil
-	case "wsb":
-		return repro.WSB(n), func(n int) repro.Solver {
-			box := repro.NewTaskBox("R", repro.Renaming(n, 2*n-2), seed)
-			return repro.NewWSBFromRenaming(n, repro.NewBoxSolver(box))
-		}, nil
-	case "renaming-wsb":
-		return repro.Renaming(n, 2*n-2), func(n int) repro.Solver {
-			return repro.NewRenamingFromWSB("RW", n, repro.WSBBox("WSB", n, seed))
-		}, nil
-	case "election":
-		return repro.Election(n), func(n int) repro.Solver {
-			return repro.NewElectionFromPerfectRenaming(repro.NewTASRenaming("TAS", n))
-		}, nil
-	case "universal":
-		spec := repro.KSlot(n, 3)
-		return spec, func(n int) repro.Solver {
-			return repro.NewUniversalConstruction(spec, repro.NewTASRenaming("TAS", n))
-		}, nil
-	default:
-		return repro.Spec{}, nil, fmt.Errorf("unknown protocol %q", protocol)
-	}
+	return repro.SelectProtocol(protocol, n, seed)
 }
 
 // sampleProtocol statistically samples the protocol's schedule space:

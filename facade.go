@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"repro/internal/campaign"
 	"repro/internal/gsb"
 	"repro/internal/harness"
 	"repro/internal/luby"
@@ -153,6 +154,65 @@ var (
 	ScheduleSummary = sched.Summary
 )
 
+// Durable verification campaigns (internal/campaign): long explorations,
+// sampling batches and crash sweeps that checkpoint their entire engine
+// state to a versioned snapshot file, resume exactly after a kill, split
+// deterministically across shards, and merge shard snapshots into the
+// report an uninterrupted single process produces. cmd/gsbcampaign is the
+// CLI form (start/resume/status/merge, checkpoint-on-signal).
+type (
+	// CampaignConfig describes one campaign (or one shard of one):
+	// task, solver, options, shard index/count, checkpoint interval and
+	// snapshot path.
+	CampaignConfig = campaign.Config
+	// CampaignReport is a campaign outcome (final for a single shard,
+	// provisional per shard until MergeCampaigns combines the set).
+	CampaignReport = campaign.Report
+	// CampaignHeader is the self-describing first line of a snapshot
+	// file: identity, options hash, progress, and the result once done.
+	CampaignHeader = campaign.Header
+	// CampaignMode names a campaign's verification mode.
+	CampaignMode = campaign.Mode
+)
+
+// Campaign modes (derived from ExploreOptions by CampaignModeOf).
+const (
+	CampaignExhaustive = campaign.ModeExhaustive
+	CampaignPOR        = campaign.ModePOR
+	CampaignPORMemo    = campaign.ModePORMemo
+	CampaignWalk       = campaign.ModeWalk
+	CampaignPCT        = campaign.ModePCT
+	CampaignCrash      = campaign.ModeCrash
+)
+
+var (
+	// RunCampaign starts a fresh campaign shard and drives it through
+	// checkpointed slices to completion (or to a checkpoint-on-cancel
+	// pause: ErrCampaignPaused). ResumeCampaign continues from the
+	// snapshot, failing loudly (ErrCampaignOptionsMismatch) if the
+	// campaign-defining options changed. MergeCampaigns combines the
+	// finished shard snapshots into the single-process report, and
+	// CampaignStatus reads a snapshot's header without its payload.
+	RunCampaign    = campaign.Start
+	ResumeCampaign = campaign.Resume
+	MergeCampaigns = campaign.Merge
+	CampaignStatus = campaign.Status
+	CampaignModeOf = campaign.ModeOf
+	// ErrCampaignPaused marks an interrupted-but-checkpointed campaign;
+	// ErrCampaignOptionsMismatch a resume/merge whose options do not
+	// match the snapshot's.
+	ErrCampaignPaused          = campaign.ErrPaused
+	ErrCampaignOptionsMismatch = campaign.ErrOptionsMismatch
+	// VerifyResult is the per-run acceptance rule every verification
+	// mode shares (complete runs: legal output vector; crashed runs:
+	// legal completable prefix).
+	VerifyResult = tasks.VerifyResult
+	// SelectProtocol maps a CLI protocol name to its task spec and
+	// solver constructor — the registry cmd/gsbrun and cmd/gsbcampaign
+	// share.
+	SelectProtocol = harness.SelectProtocol
+)
+
 // Shared-memory objects (internal/mem).
 var (
 	NewTaskBox         = mem.NewTaskBox
@@ -250,17 +310,19 @@ var (
 // Paper artifacts (Table 1, Figure 1, Figure 2) and the exhaustive
 // exploration experiment.
 var (
-	Table1            = harness.Table1
-	Figure1Text       = harness.Figure1Text
-	Figure1DOT        = harness.Figure1DOT
-	Figure2Experiment = harness.Figure2Experiment
-	Figure2Text       = harness.Figure2Text
-	ExploreExperiment = harness.ExploreExperiment
-	ExploreText       = harness.ExploreText
-	SampleExperiment  = harness.SampleExperiment
-	SampleText        = harness.SampleText
-	SolvabilityText   = harness.SolvabilityText
-	GCDTableText      = harness.GCDTableText
+	Table1             = harness.Table1
+	Figure1Text        = harness.Figure1Text
+	Figure1DOT         = harness.Figure1DOT
+	Figure2Experiment  = harness.Figure2Experiment
+	Figure2Text        = harness.Figure2Text
+	ExploreExperiment  = harness.ExploreExperiment
+	ExploreText        = harness.ExploreText
+	SampleExperiment   = harness.SampleExperiment
+	SampleText         = harness.SampleText
+	CampaignExperiment = harness.CampaignExperiment
+	CampaignText       = harness.CampaignText
+	SolvabilityText    = harness.SolvabilityText
+	GCDTableText       = harness.GCDTableText
 )
 
 // Message-passing baselines (internal/msgnet, internal/luby).

@@ -1,0 +1,425 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/gsb"
+	"repro/internal/sample"
+	"repro/internal/sched"
+	"repro/internal/tasks"
+)
+
+// Mode names a campaign's verification mode. It is derived from the
+// exploration options (ModeOf), not chosen independently, so a snapshot's
+// mode always agrees with its options.
+type Mode string
+
+const (
+	ModeExhaustive Mode = "exhaustive"
+	ModePOR        Mode = "por"
+	ModePORMemo    Mode = "por-memo"
+	ModeWalk       Mode = "sample-walk"
+	ModePCT        Mode = "sample-pct"
+	ModeCrash      Mode = "crash-sweep"
+)
+
+// ModeOf derives the campaign mode selected by opts.
+func ModeOf(opts sched.ExploreOptions) Mode {
+	switch {
+	case opts.CrashRuns > 0:
+		return ModeCrash
+	case opts.SampleRuns > 0 && opts.SampleMode == sched.SamplePCT:
+		return ModePCT
+	case opts.SampleRuns > 0:
+		return ModeWalk
+	case opts.Reduction == sched.ReductionSleepMemo:
+		return ModePORMemo
+	case opts.Reduction == sched.ReductionSleepSets:
+		return ModePOR
+	default:
+		return ModeExhaustive
+	}
+}
+
+// family groups modes by engine: the enumerating explore/POR engine, the
+// sampling batch, or the crash sweep.
+func (m Mode) family() string {
+	switch m {
+	case ModeExhaustive, ModePOR, ModePORMemo:
+		return "explore"
+	case ModeWalk, ModePCT:
+		return "sample"
+	case ModeCrash:
+		return "crash"
+	}
+	return "unknown"
+}
+
+// ErrPaused is returned (wrapped) by Start and Resume when the campaign
+// was interrupted — context canceled, typically by a signal — after
+// writing a checkpoint: the snapshot on disk resumes exactly where the
+// campaign stopped.
+var ErrPaused = errors.New("campaign: paused at a checkpoint (resume from the snapshot)")
+
+// DefaultCheckpointEvery is the checkpoint interval (runs between
+// snapshot writes) used when Config.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 5000
+
+// Config describes one campaign (or one shard of one).
+type Config struct {
+	// Protocol is a free-form label recorded in snapshot headers;
+	// cmd/gsbcampaign uses it to rebuild the solver on resume and merge.
+	Protocol string
+	// Spec is the task the campaign verifies every run against; Build
+	// constructs a fresh solver per run, exactly as for ExploreVerified.
+	Spec  gsb.Spec
+	IDs   []int
+	Opts  sched.ExploreOptions
+	Build func(n int) tasks.Solver
+	// Shard/Of select one shard of an Of-way campaign; zero values mean
+	// the whole campaign (shard 0 of 1). Sharding is deterministic:
+	// every shard derives its own slice of the work without
+	// coordination, and Merge combines the finished snapshots.
+	Shard, Of int
+	// CheckpointEvery is the number of runs between checkpoint writes
+	// (0: DefaultCheckpointEvery). Smaller means less work lost on a
+	// kill and more write overhead.
+	CheckpointEvery int
+	// Path is the snapshot file.
+	Path string
+	// Force lets Start overwrite an existing snapshot file.
+	Force bool
+	// OnCheckpoint, when set, observes every snapshot write (the header
+	// just written). Tests use it to kill campaigns at exact checkpoint
+	// boundaries; the CLI uses it for progress logging.
+	OnCheckpoint func(Header)
+}
+
+func (c *Config) normalize() error {
+	if c.Of <= 0 {
+		c.Of = 1
+	}
+	if c.Shard < 0 || c.Shard >= c.Of {
+		return fmt.Errorf("campaign: shard %d outside [0, %d)", c.Shard, c.Of)
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if c.Path == "" {
+		return fmt.Errorf("campaign: snapshot path is required")
+	}
+	if c.Build == nil {
+		return fmt.Errorf("campaign: solver constructor is required")
+	}
+	if len(c.IDs) == 0 {
+		c.IDs = sched.DefaultIDs(c.Spec.N())
+	}
+	if err := c.Opts.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// header renders the campaign identity of cfg (progress fields zero).
+func (c *Config) header() Header {
+	h := Header{
+		Magic:    Magic,
+		Version:  Version,
+		Mode:     ModeOf(c.Opts),
+		Protocol: c.Protocol,
+		Task:     c.Spec.String(),
+		N:        c.Spec.N(),
+		IDs:      c.IDs,
+		Options:  optionsHeader(c.Opts),
+		Shard:    c.Shard,
+		Of:       c.Of,
+	}
+	h.OptionsHash = optionsHash(h)
+	return h
+}
+
+// Report is a campaign outcome. For a single-shard campaign (Of == 1) it
+// is final and identical to the uninterrupted mode's report; for one
+// shard of many it is provisional (raw shard counts) until Merge combines
+// the shard set.
+type Report struct {
+	Mode     Mode   `json:"mode"`
+	Protocol string `json:"protocol"`
+	Task     string `json:"task"`
+	Shard    int    `json:"shard"`
+	Of       int    `json:"of"`
+	// Schedules is the verified schedule count with exactly the mode's
+	// usual semantics: interleavings (exhaustive), trace classes (POR),
+	// sampled/swept runs, or — on a violation — the count up to and
+	// including the reported run.
+	Schedules int `json:"schedules"`
+	// Classes/Coverage are the sampling modes' distinct-trace-class
+	// coverage figures.
+	Classes  int     `json:"classes,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
+	Depth    int     `json:"pct_depth,omitempty"`
+	// Violation is the verdict of a failed campaign ("" when every run
+	// verified); FailedRun/FailedSeed identify the replayable failing
+	// run in the seeded modes (-1/0 otherwise).
+	Violation  string `json:"violation,omitempty"`
+	FailedRun  int    `json:"failed_run"`
+	FailedSeed int64  `json:"failed_seed,omitempty"`
+	// Done distinguishes a finished campaign from a paused one;
+	// Checkpoints counts snapshot writes in this process.
+	Done        bool `json:"done"`
+	Checkpoints int  `json:"checkpoints"`
+}
+
+func (c *Config) body() func() sched.Body {
+	n := c.Spec.N()
+	return func() sched.Body { return tasks.Body(c.Build(n)) }
+}
+
+func (c *Config) check() func(*sched.Result) error {
+	spec := c.Spec
+	return func(res *sched.Result) error { return tasks.VerifyResult(spec, res) }
+}
+
+// Start begins a fresh campaign (shard): it derives this shard's initial
+// engine state, then runs checkpointed slices until done or interrupted.
+// An existing snapshot at cfg.Path is refused unless cfg.Force — resuming
+// by accident is confusing, overwriting a half-done campaign is worse.
+//
+// The returned error is the campaign verdict: nil when every run
+// verified, the violation otherwise, or one wrapping ErrPaused when ctx
+// was canceled after a checkpoint.
+func Start(ctx context.Context, cfg Config) (Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return Report{}, err
+	}
+	if !cfg.Force {
+		if _, err := os.Stat(cfg.Path); err == nil {
+			return Report{}, fmt.Errorf("campaign: snapshot %s already exists (resume it, or pass force to overwrite)", cfg.Path)
+		}
+	}
+	p, err := initialState(ctx, &cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return run(ctx, &cfg, p)
+}
+
+// Resume continues a campaign from its snapshot. The snapshot's campaign
+// identity (mode, task, protocol, n, ids, options, shard) must match
+// cfg exactly — ErrOptionsMismatch otherwise, because a resume under
+// different options would verify something other than what the snapshot
+// started. Worker count and checkpoint interval may differ freely.
+func Resume(ctx context.Context, cfg Config) (Report, error) {
+	if err := cfg.normalize(); err != nil {
+		return Report{}, err
+	}
+	h, p, err := readSnapshot(cfg.Path)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := matchHeader(cfg.header(), h); err != nil {
+		return Report{}, err
+	}
+	return run(ctx, &cfg, p)
+}
+
+// matchHeader compares the campaign identity of a config against a
+// snapshot header.
+func matchHeader(want, got Header) error {
+	if want.OptionsHash != got.OptionsHash || want.Shard != got.Shard {
+		return fmt.Errorf("%w: snapshot is %s shard %d/%d of %q on %s (hash %s), resume asked for %s shard %d/%d of %q on %s (hash %s)",
+			ErrOptionsMismatch,
+			got.Mode, got.Shard, got.Of, got.Protocol, got.Task, got.OptionsHash,
+			want.Mode, want.Shard, want.Of, want.Protocol, want.Task, want.OptionsHash)
+	}
+	return nil
+}
+
+// initialState derives the fresh engine state of cfg's shard.
+func initialState(ctx context.Context, cfg *Config) (payload, error) {
+	n := cfg.Spec.N()
+	switch ModeOf(cfg.Opts).family() {
+	case "explore":
+		r := &sched.ResumableExplorer{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+		states, err := r.SeedShards(ctx, cfg.Of)
+		if err != nil {
+			return payload{}, err
+		}
+		return payload{Explore: states[cfg.Shard]}, nil
+	case "sample":
+		r := &sample.ResumableBatch{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+		st, err := r.Init(cfg.Shard, cfg.Of)
+		if err != nil {
+			return payload{}, err
+		}
+		return payload{Sample: st}, nil
+	case "crash":
+		return payload{Crash: &sched.SeededState{Shard: cfg.Shard, Of: cfg.Of}}, nil
+	}
+	return payload{}, fmt.Errorf("campaign: options select no known mode")
+}
+
+// run drives checkpointed slices of the engine from state p to
+// completion, pause, or error.
+func run(ctx context.Context, cfg *Config, p payload) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := cfg.Spec.N()
+	h := cfg.header()
+	checkpoints := 0
+
+	slice := func(p payload) (payload, bool, error) {
+		switch {
+		case p.Explore != nil:
+			r := &sched.ResumableExplorer{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+			st, done, err := r.Slice(ctx, p.Explore, cfg.CheckpointEvery, nil)
+			return payload{Explore: st}, done, err
+		case p.Sample != nil:
+			r := &sample.ResumableBatch{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+			st, done, err := r.Slice(ctx, p.Sample, cfg.CheckpointEvery, nil)
+			return payload{Sample: st}, done, err
+		default:
+			st, done, err := sched.SeededSlice(ctx, n, cfg.IDs, cfg.Opts, cfg.Opts.CrashRuns,
+				sched.CrashSweepPolicies(n, cfg.Opts), cfg.body(),
+				sched.CrashSweepCheck(n, cfg.Opts, cfg.check()),
+				p.Crash, cfg.CheckpointEvery, nil)
+			return payload{Crash: st}, done, err
+		}
+	}
+
+	for {
+		next, done, err := slice(p)
+		if err != nil {
+			// Engine errors (invalid options, exhausted MaxRuns) are
+			// terminal, not resumable: the previous snapshot, if any,
+			// stays on disk untouched.
+			return Report{}, err
+		}
+		p = next
+		h.Done = done
+		h.Runs, h.Frontier = progress(p)
+		var rep Report
+		var verdict error
+		if done {
+			rep, verdict = finalize(ctx, cfg, p)
+			rep.Checkpoints = checkpoints + 1
+			h.Result = &rep
+		}
+		if werr := writeSnapshot(cfg.Path, h, p); werr != nil {
+			return Report{}, werr
+		}
+		checkpoints++
+		if cfg.OnCheckpoint != nil {
+			cfg.OnCheckpoint(h)
+		}
+		if done {
+			return rep, verdict
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			rep := provisionalReport(cfg, p)
+			rep.Checkpoints = checkpoints
+			return rep, fmt.Errorf("%w (snapshot %s, %d runs done): %v", ErrPaused, cfg.Path, h.Runs, cerr)
+		}
+	}
+}
+
+// progress extracts the header progress gauges from an engine state.
+func progress(p payload) (runs int64, frontier int) {
+	switch {
+	case p.Explore != nil:
+		return p.Explore.Completed, len(p.Explore.Frontier)
+	case p.Sample != nil:
+		return p.Sample.Pool.Completed, 0
+	case p.Crash != nil:
+		return p.Crash.Completed, 0
+	}
+	return 0, 0
+}
+
+// provisionalReport renders a paused or single-shard-incomplete state.
+func provisionalReport(cfg *Config, p payload) Report {
+	rep := Report{
+		Mode: ModeOf(cfg.Opts), Protocol: cfg.Protocol, Task: cfg.Spec.String(),
+		Shard: cfg.Shard, Of: cfg.Of, FailedRun: -1,
+	}
+	runs, _ := progress(p)
+	rep.Schedules = int(runs)
+	return rep
+}
+
+// finalize turns a completed shard state into its report and verdict.
+// For a single-shard campaign this is the exact report of the
+// uninterrupted mode; for one shard of many the counts are the shard's
+// raw contribution and the verdict is the shard's own smallest failure
+// (Merge settles the campaign-wide one).
+func finalize(ctx context.Context, cfg *Config, p payload) (Report, error) {
+	rep := provisionalReport(cfg, p)
+	rep.Done = true
+	n := cfg.Spec.N()
+	if cfg.Of > 1 {
+		// Provisional shard verdict: raw counts plus this shard's own
+		// failure, loudly labeled by Shard/Of fields.
+		switch {
+		case p.Explore != nil:
+			if f := p.Explore.Failure; f != nil {
+				rep.Violation = f.Message
+				return rep, f.Err()
+			}
+		case p.Sample != nil:
+			rep.Depth = p.Sample.Depth
+			rep.Classes = len(p.Sample.Classes)
+			if p.Sample.FailedRun >= 0 {
+				rep.FailedRun = p.Sample.FailedRun
+				rep.FailedSeed = sched.DeriveRunSeed(cfg.Opts.Seed, p.Sample.FailedRun)
+				rep.Violation = p.Sample.Pool.Failure.Message
+				return rep, p.Sample.Pool.Failure.Err()
+			}
+		case p.Crash != nil:
+			if f := p.Crash.Failure; f != nil {
+				rep.FailedRun = f.Run
+				rep.FailedSeed = sched.DeriveRunSeed(cfg.Opts.Seed, f.Run)
+				rep.Violation = f.Message
+				return rep, f.Err()
+			}
+		}
+		return rep, nil
+	}
+
+	switch {
+	case p.Explore != nil:
+		r := &sched.ResumableExplorer{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+		count, err := r.Finalize(ctx, p.Explore)
+		rep.Schedules = count
+		if err != nil {
+			rep.Violation = err.Error()
+		}
+		return rep, err
+	case p.Sample != nil:
+		r := &sample.ResumableBatch{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+		srep, err := r.Finalize(p.Sample)
+		rep.Schedules, rep.Classes, rep.Coverage, rep.Depth = srep.Runs, srep.Classes, srep.Coverage(), srep.Depth
+		rep.FailedRun, rep.FailedSeed = srep.FailedRun, srep.FailedSeed
+		if err != nil {
+			rep.Violation = err.Error()
+		}
+		return rep, err
+	default:
+		if f := p.Crash.Failure; f != nil {
+			rep.Schedules = f.Run + 1
+			rep.FailedRun = f.Run
+			rep.FailedSeed = sched.DeriveRunSeed(cfg.Opts.Seed, f.Run)
+			rep.Violation = f.Message
+			return rep, f.Err()
+		}
+		rep.Schedules = cfg.Opts.CrashRuns
+		return rep, nil
+	}
+}
+
+// Status reads a snapshot's header: campaign identity, progress and — for
+// completed campaigns — the final report, without parsing the payload.
+func Status(path string) (Header, error) { return ReadHeader(path) }

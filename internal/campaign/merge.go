@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sample"
+	"repro/internal/sched"
+)
+
+// Merge combines the finished shard snapshots of one campaign into the
+// single report — verdict, schedule/class counts, lex-min violation —
+// that one uninterrupted single-process run of the whole campaign
+// produces. cfg supplies the campaign definition (the same one the
+// shards ran under; verified against every snapshot's options hash) and,
+// for the enumerating modes, the solver constructor: a merged violation
+// re-runs the engine's counting pass against the settled
+// lexicographically smallest failure, exactly as the one-shot engine
+// does after discovery.
+//
+// paths must be the complete shard set: exactly one snapshot per shard
+// of the campaign's Of, each marked done. Anything else — a missing or
+// duplicate shard, an unfinished shard, a snapshot from a different
+// campaign or option set — is a loud error, never a silently partial
+// report.
+func Merge(ctx context.Context, cfg Config, paths []string) (Report, error) {
+	if len(paths) == 0 {
+		return Report{}, fmt.Errorf("campaign: merge needs at least one snapshot")
+	}
+	cfg.Path = paths[0] // normalize() requires a path; merge never writes one
+	cfg.Of = len(paths)
+	cfg.Shard = 0
+	if err := cfg.normalize(); err != nil {
+		return Report{}, err
+	}
+	want := cfg.header()
+
+	headers := make([]Header, len(paths))
+	payloads := make([]payload, len(paths))
+	seen := make(map[int]string, len(paths))
+	for i, path := range paths {
+		h, p, err := readSnapshot(path)
+		if err != nil {
+			return Report{}, err
+		}
+		if h.Of != len(paths) {
+			return Report{}, fmt.Errorf("campaign: %s is shard %d of a %d-way campaign, but %d snapshots were given", path, h.Shard, h.Of, len(paths))
+		}
+		if h.OptionsHash != want.OptionsHash {
+			return Report{}, fmt.Errorf("%w: %s has hash %s, the merge config hashes to %s", ErrOptionsMismatch, path, h.OptionsHash, want.OptionsHash)
+		}
+		if dup, ok := seen[h.Shard]; ok {
+			return Report{}, fmt.Errorf("campaign: %s and %s are both shard %d", dup, path, h.Shard)
+		}
+		seen[h.Shard] = path
+		if !h.Done {
+			return Report{}, fmt.Errorf("campaign: %s (shard %d) has not finished (%d runs done); resume it before merging", path, h.Shard, h.Runs)
+		}
+		headers[i] = h
+		payloads[i] = p
+	}
+
+	rep := Report{
+		Mode: ModeOf(cfg.Opts), Protocol: cfg.Protocol, Task: cfg.Spec.String(),
+		Shard: 0, Of: len(paths), Done: true, FailedRun: -1,
+	}
+	n := cfg.Spec.N()
+	switch ModeOf(cfg.Opts).family() {
+	case "explore":
+		states := make([]*sched.ExploreState, len(paths))
+		for i, p := range payloads {
+			states[headers[i].Shard] = p.Explore
+		}
+		r := &sched.ResumableExplorer{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+		count, err := r.Finalize(ctx, states...)
+		rep.Schedules = count
+		if err != nil {
+			rep.Violation = err.Error()
+		}
+		return rep, err
+	case "sample":
+		states := make([]*sample.BatchState, len(paths))
+		for i, p := range payloads {
+			states[headers[i].Shard] = p.Sample
+		}
+		r := &sample.ResumableBatch{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+		srep, err := r.Finalize(states...)
+		rep.Schedules, rep.Classes, rep.Coverage, rep.Depth = srep.Runs, srep.Classes, srep.Coverage(), srep.Depth
+		rep.FailedRun, rep.FailedSeed = srep.FailedRun, srep.FailedSeed
+		if err != nil {
+			rep.Violation = err.Error()
+		}
+		return rep, err
+	default: // crash sweep
+		var best *sched.SeededFailure
+		for _, p := range payloads {
+			if f := p.Crash.Failure; f != nil && (best == nil || f.Run < best.Run) {
+				best = f
+			}
+		}
+		if best != nil {
+			rep.Schedules = best.Run + 1
+			rep.FailedRun = best.Run
+			rep.FailedSeed = sched.DeriveRunSeed(cfg.Opts.Seed, best.Run)
+			rep.Violation = best.Message
+			return rep, best.Err()
+		}
+		rep.Schedules = cfg.Opts.CrashRuns
+		return rep, nil
+	}
+}

@@ -1,0 +1,268 @@
+// Package campaign turns the repository's verification modes —
+// exhaustive and partial-order-reduced exploration, statistical sampling
+// (random walk and PCT), and randomized crash sweeps — into durable,
+// resumable, shardable campaigns: long runs that periodically checkpoint
+// their entire engine state to disk, survive kills (resume from the last
+// snapshot is exact, not approximate), split deterministically across
+// shards, and merge shard snapshots into the same report a single
+// uninterrupted process produces.
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/sample"
+	"repro/internal/sched"
+)
+
+// Snapshot format: a campaign checkpoint file is one JSON header object
+// on the first line, then the JSON engine-state payload. The header is
+// self-describing (magic, format version, campaign identity and its
+// options hash) and carries cheap progress/result fields so `status` and
+// CI never need to parse the — potentially large — payload. Writes are
+// atomic: a temp file in the same directory is renamed over the target,
+// so a kill at any instant leaves either the previous checkpoint or the
+// new one, never a torn file.
+
+const (
+	// Magic identifies a campaign snapshot file.
+	Magic = "gsb-campaign"
+	// Version is the snapshot format version; readers reject anything
+	// else (format evolution is explicit, never silent).
+	Version = 1
+)
+
+// ErrOptionsMismatch reports a resume or merge whose campaign options do
+// not match the snapshot's: resuming under different options would
+// silently change what the campaign verifies, so it fails loudly instead.
+var ErrOptionsMismatch = errors.New("campaign: options do not match the snapshot")
+
+// Header is the first line of a snapshot file.
+type Header struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Mode names the verification mode (see Mode constants).
+	Mode Mode `json:"mode"`
+	// Protocol is the caller's protocol label (cmd/gsbcampaign rebuilds
+	// the solver from it on resume/merge); Task renders the verified
+	// task specification.
+	Protocol string `json:"protocol"`
+	Task     string `json:"task"`
+	N        int    `json:"n"`
+	IDs      []int  `json:"ids"`
+	// Options is the campaign-defining subset of the exploration
+	// options; OptionsHash is the FNV-64a hash of the canonical encoding
+	// of (format version, task, protocol, n, ids, options, shard count),
+	// shared by all shards of one campaign. Worker count and checkpoint
+	// interval are execution details: they may change across resumes and
+	// are excluded.
+	Options     OptionsHeader `json:"options"`
+	Shard       int           `json:"shard"`
+	Of          int           `json:"of"`
+	OptionsHash string        `json:"options_hash"`
+	// Done marks a completed campaign (or shard); Runs and Frontier are
+	// progress gauges (runs executed; unexplored frontier items, explore
+	// family only); Result carries the shard's final report once done.
+	Done     bool    `json:"done"`
+	Runs     int64   `json:"runs"`
+	Frontier int     `json:"frontier,omitempty"`
+	Result   *Report `json:"result,omitempty"`
+	Updated  string  `json:"updated"`
+}
+
+// OptionsHeader is the serializable, campaign-defining subset of
+// sched.ExploreOptions.
+type OptionsHeader struct {
+	Seed       int64   `json:"seed"`
+	MaxRuns    int     `json:"max_runs,omitempty"`
+	MaxSteps   int     `json:"max_steps,omitempty"`
+	Reduction  int     `json:"reduction,omitempty"`
+	SampleRuns int     `json:"sample_runs,omitempty"`
+	SampleMode int     `json:"sample_mode,omitempty"`
+	Depth      int     `json:"depth,omitempty"`
+	CrashRuns  int     `json:"crash_runs,omitempty"`
+	CrashProb  float64 `json:"crash_prob,omitempty"`
+	MaxCrashes int     `json:"max_crashes,omitempty"`
+}
+
+func optionsHeader(o sched.ExploreOptions) OptionsHeader {
+	return OptionsHeader{
+		Seed:       o.Seed,
+		MaxRuns:    o.MaxRuns,
+		MaxSteps:   o.MaxSteps,
+		Reduction:  int(o.Reduction),
+		SampleRuns: o.SampleRuns,
+		SampleMode: int(o.SampleMode),
+		Depth:      o.Depth,
+		CrashRuns:  o.CrashRuns,
+		CrashProb:  o.CrashProb,
+		MaxCrashes: o.MaxCrashes,
+	}
+}
+
+// ExploreOptions reconstructs the engine options a snapshot was taken
+// under (worker count zero: the resumer picks its own).
+func (h Header) ExploreOptions() sched.ExploreOptions {
+	o := h.Options
+	return sched.ExploreOptions{
+		Seed:       o.Seed,
+		MaxRuns:    o.MaxRuns,
+		MaxSteps:   o.MaxSteps,
+		Reduction:  sched.Reduction(o.Reduction),
+		SampleRuns: o.SampleRuns,
+		SampleMode: sched.SampleMode(o.SampleMode),
+		Depth:      o.Depth,
+		CrashRuns:  o.CrashRuns,
+		CrashProb:  o.CrashProb,
+		MaxCrashes: o.MaxCrashes,
+	}
+}
+
+// payload is the engine-state part of a snapshot: exactly one field is
+// set, matching the header's mode family.
+type payload struct {
+	Explore *sched.ExploreState `json:"explore,omitempty"`
+	Sample  *sample.BatchState  `json:"sample,omitempty"`
+	Crash   *sched.SeededState  `json:"crash,omitempty"`
+}
+
+// optionsHash computes the campaign identity hash of a header: the
+// FNV-64a of a canonical rendering of everything that defines what the
+// campaign computes. Shard index is excluded (shards of one campaign
+// share the hash); shard count is included (a 3-way split is not the
+// same campaign as a 5-way one).
+func optionsHash(h Header) string {
+	f := fnv.New64a()
+	fmt.Fprintf(f, "v%d|mode=%s|task=%s|protocol=%s|n=%d|ids=%v|of=%d|", h.Version, h.Mode, h.Task, h.Protocol, h.N, h.IDs, h.Of)
+	fmt.Fprintf(f, "seed=%d|maxruns=%d|maxsteps=%d|red=%d|sruns=%d|smode=%d|depth=%d|cruns=%d|cprob=%g|cmax=%d",
+		h.Options.Seed, h.Options.MaxRuns, h.Options.MaxSteps, h.Options.Reduction,
+		h.Options.SampleRuns, h.Options.SampleMode, h.Options.Depth,
+		h.Options.CrashRuns, h.Options.CrashProb, h.Options.MaxCrashes)
+	return fmt.Sprintf("%016x", f.Sum64())
+}
+
+// writeSnapshot atomically writes header + payload to path.
+func writeSnapshot(path string, h Header, p payload) error {
+	h.Magic, h.Version = Magic, Version
+	h.OptionsHash = optionsHash(h)
+	h.Updated = time.Now().UTC().Format(time.RFC3339)
+
+	var buf bytes.Buffer
+	henc := json.NewEncoder(&buf)
+	if err := henc.Encode(h); err != nil {
+		return fmt.Errorf("campaign: encode header: %w", err)
+	}
+	penc := json.NewEncoder(&buf)
+	if err := penc.Encode(p); err != nil {
+		return fmt.Errorf("campaign: encode payload: %w", err)
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("campaign: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// ReadHeader reads and validates only the snapshot header — the cheap
+// read used by status and by merge's pre-flight checks.
+func ReadHeader(path string) (Header, error) {
+	var h Header
+	f, err := os.Open(path)
+	if err != nil {
+		return h, fmt.Errorf("campaign: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return h, fmt.Errorf("campaign: %s: reading snapshot header: %w", path, err)
+	}
+	if err := json.Unmarshal(line, &h); err != nil {
+		return h, fmt.Errorf("campaign: %s: snapshot header is not JSON: %w", path, err)
+	}
+	if h.Magic != Magic {
+		return h, fmt.Errorf("campaign: %s is not a campaign snapshot (magic %q)", path, h.Magic)
+	}
+	if h.Version != Version {
+		return h, fmt.Errorf("campaign: %s: snapshot format version %d, this build reads version %d", path, h.Version, Version)
+	}
+	if want := optionsHash(h); h.OptionsHash != want {
+		return h, fmt.Errorf("campaign: %s: header hash %s does not match its contents (%s): snapshot corrupted or hand-edited", path, h.OptionsHash, want)
+	}
+	if h.Of < 1 || h.Shard < 0 || h.Shard >= h.Of {
+		return h, fmt.Errorf("campaign: %s: shard %d of %d is not a valid shard", path, h.Shard, h.Of)
+	}
+	return h, nil
+}
+
+// readSnapshot reads and validates a full snapshot.
+func readSnapshot(path string) (Header, payload, error) {
+	var p payload
+	h, err := ReadHeader(path)
+	if err != nil {
+		return h, p, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return h, p, fmt.Errorf("campaign: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	if _, err := r.ReadBytes('\n'); err != nil { // skip the header line
+		return h, p, fmt.Errorf("campaign: %s: %w", path, err)
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&p); err != nil {
+		return h, p, fmt.Errorf("campaign: %s: snapshot payload: %w", path, err)
+	}
+	set := 0
+	for _, ok := range []bool{p.Explore != nil, p.Sample != nil, p.Crash != nil} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return h, p, fmt.Errorf("campaign: %s: snapshot payload must carry exactly one engine state (has %d)", path, set)
+	}
+	if got, want := p.payloadFamily(), h.Mode.family(); got != want {
+		return h, p, fmt.Errorf("campaign: %s: payload family %q does not match mode %s", path, got, h.Mode)
+	}
+	return h, p, nil
+}
+
+func (p payload) payloadFamily() string {
+	switch {
+	case p.Explore != nil:
+		return "explore"
+	case p.Sample != nil:
+		return "sample"
+	case p.Crash != nil:
+		return "crash"
+	}
+	return "none"
+}

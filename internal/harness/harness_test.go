@@ -244,3 +244,28 @@ func TestSampleExperiment(t *testing.T) {
 		t.Errorf("SampleText malformed:\n%s", text)
 	}
 }
+
+func TestCampaignExperiment(t *testing.T) {
+	rows, err := CampaignExperiment(3, 2, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("%s: kill/resume or 3-shard merge diverged from the uninterrupted run: %+v", r.Mode, r)
+		}
+		if r.Resumes == 0 {
+			t.Errorf("%s: the campaign was never actually interrupted (the experiment is vacuous)", r.Mode)
+		}
+		if r.Schedules == 0 {
+			t.Errorf("%s: no schedules verified: %+v", r.Mode, r)
+		}
+	}
+	text := CampaignText(rows)
+	if !strings.Contains(text, "kill/resume") || !strings.Contains(text, "OK") || strings.Contains(text, "MISMATCH") {
+		t.Errorf("CampaignText malformed:\n%s", text)
+	}
+}

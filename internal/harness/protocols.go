@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/gsb"
+	"repro/internal/mem"
+	"repro/internal/tasks"
+	"repro/internal/universal"
+)
+
+// SelectProtocol maps a protocol name — the vocabulary shared by
+// cmd/gsbrun and cmd/gsbcampaign — to the task specification it solves
+// and a per-run solver constructor. seed seeds the oracle-box assignment
+// draws of the protocols that use one, so a protocol selection is fully
+// reproducible from (name, n, seed).
+//
+// Names:
+//
+//	renaming       snapshot-based adaptive (2n-1)-renaming
+//	grid           Moir-Anderson splitter-grid renaming (n(n+1)/2 names)
+//	slot-renaming  Figure 2: (n+1)-renaming from an (n-1)-slot object
+//	wsb            WSB from a (2n-2)-renaming oracle
+//	renaming-wsb   (2n-2)-renaming from a WSB oracle
+//	election       election from perfect renaming (TAS row)
+//	universal      <n,3,1,n>-GSB via Theorem 8 from perfect renaming
+func SelectProtocol(protocol string, n int, seed int64) (gsb.Spec, func(n int) tasks.Solver, error) {
+	switch protocol {
+	case "renaming":
+		return gsb.Renaming(n, 2*n-1),
+			func(n int) tasks.Solver { return tasks.NewSnapshotRenaming("R", n) }, nil
+	case "grid":
+		return gsb.Renaming(n, n*(n+1)/2),
+			func(n int) tasks.Solver { return tasks.NewGridRenaming("G", n) }, nil
+	case "slot-renaming":
+		return gsb.Renaming(n, n+1), func(n int) tasks.Solver {
+			return tasks.NewSlotRenaming("F2", n, mem.SlotBox("KS", n, n-1, seed))
+		}, nil
+	case "wsb":
+		return gsb.WSB(n), func(n int) tasks.Solver {
+			box := mem.NewTaskBox("R", gsb.Renaming(n, 2*n-2), seed)
+			return tasks.NewWSBFromRenaming(n, tasks.NewBoxSolver(box))
+		}, nil
+	case "renaming-wsb":
+		return gsb.Renaming(n, 2*n-2), func(n int) tasks.Solver {
+			return tasks.NewRenamingFromWSB("RW", n, mem.WSBBox("WSB", n, seed))
+		}, nil
+	case "election":
+		return gsb.Election(n), func(n int) tasks.Solver {
+			return tasks.NewElectionFromPerfectRenaming(tasks.NewTASRenaming("TAS", n))
+		}, nil
+	case "universal":
+		spec := gsb.KSlot(n, 3)
+		return spec, func(n int) tasks.Solver {
+			return universal.New(spec, tasks.NewTASRenaming("TAS", n))
+		}, nil
+	default:
+		return gsb.Spec{}, nil, fmt.Errorf("unknown protocol %q", protocol)
+	}
+}

@@ -1,0 +1,273 @@
+package sample
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// This file is the checkpoint layer of the sampling subsystem: a sampling
+// batch advances in bounded slices over the resumable seeded-run pool
+// (sched.SeededSlice), and between slices its state — the next run index,
+// the per-run trace-class hashes backing the coverage figure, and the
+// smallest failing run — is a plain serializable value. Because run i's
+// schedule is a pure function of DeriveRunSeed(Seed, i), a resumed (or
+// sharded) batch executes exactly the runs the uninterrupted batch would
+// have: kill/resume and shard/merge both preserve the report bit for bit.
+
+// BatchState is the serializable state of one shard of a sampling batch.
+type BatchState struct {
+	// Depth and Horizon are the PCT parameters fixed at batch start
+	// (zero in walk mode). Horizon is measured once by a deterministic
+	// probe run, so every shard agrees on it without coordination; it is
+	// carried in the state so a resume does not depend on the probe
+	// staying cheap.
+	Depth   int `json:"depth,omitempty"`
+	Horizon int `json:"horizon,omitempty"`
+	// Pool is the seeded-run pool position: shard/of, next local index,
+	// executed-run count, smallest pool-level failure.
+	Pool sched.SeededState `json:"pool"`
+	// Classes maps each canonical trace-class hash seen by this shard to
+	// the smallest (global) run index that produced it — the coverage
+	// tracker's full state. First-occurrence indices are what let a
+	// finalize or merge count distinct classes below any run cutoff
+	// (class h occurred before run c iff Classes[h] < c), while the map
+	// grows with the distinct-class count rather than the run count.
+	Classes map[uint64]int `json:"classes"`
+	// FailedRun is the smallest failing run of this shard (-1 when every
+	// run verified); Violation distinguishes a property violation from a
+	// runner error, and FailedMessage is the inner error's rendering —
+	// together they rebuild the *RunError verdict after a restore.
+	FailedRun     int    `json:"failed_run"`
+	Violation     bool   `json:"violation,omitempty"`
+	FailedMessage string `json:"failed_message,omitempty"`
+	failedErr     error  // live inner error when recorded in this process
+}
+
+// ResumableBatch drives a sampling batch in bounded slices with
+// serializable state between them. N, IDs, Opts, Build and Check play
+// exactly the roles they do for Explore; Opts must select a sampling mode
+// (SampleRuns > 0).
+type ResumableBatch struct {
+	N     int
+	IDs   []int
+	Opts  sched.ExploreOptions
+	Build func() sched.Body
+	Check func(*sched.Result) error
+}
+
+func (r *ResumableBatch) validate() error {
+	if err := r.Opts.Validate(); err != nil {
+		return err
+	}
+	if r.Opts.SampleRuns <= 0 {
+		return fmt.Errorf("sample: resumable batch needs SampleRuns > 0 (got %d)", r.Opts.SampleRuns)
+	}
+	return nil
+}
+
+func (r *ResumableBatch) maxSteps() int {
+	if r.Opts.MaxSteps > 0 {
+		return r.Opts.MaxSteps
+	}
+	return 4096 * r.N
+}
+
+// Init returns the initial state of shard `shard` of `of`: an empty
+// coverage map, the shard's position at the start of its index space,
+// and — in PCT mode — the measured depth/horizon parameters.
+func (r *ResumableBatch) Init(shard, of int) (*BatchState, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	if of < 1 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("sample: shard %d of %d outside [0, of)", shard, of)
+	}
+	st := &BatchState{
+		Pool:      sched.SeededState{Shard: shard, Of: of},
+		Classes:   map[uint64]int{},
+		FailedRun: -1,
+	}
+	if r.Opts.SampleMode == sched.SamplePCT {
+		st.Depth = r.Opts.Depth
+		if st.Depth <= 0 {
+			st.Depth = DefaultDepth
+		}
+		st.Horizon = ProbeHorizon(r.N, r.IDs, r.maxSteps(), r.Build)
+	}
+	return st, nil
+}
+
+// policyFor returns the per-run policy constructor for the batch's mode,
+// identical to the one Explore uses.
+func (r *ResumableBatch) policyFor(st *BatchState) (func(int) sched.Policy, error) {
+	switch r.Opts.SampleMode {
+	case sched.SampleWalk:
+		return func(i int) sched.Policy {
+			return sched.NewRandom(sched.DeriveRunSeed(r.Opts.Seed, i))
+		}, nil
+	case sched.SamplePCT:
+		depth, horizon := st.Depth, st.Horizon
+		return func(i int) sched.Policy {
+			return NewPCT(sched.DeriveRunSeed(r.Opts.Seed, i), r.N, depth, horizon)
+		}, nil
+	default:
+		return nil, fmt.Errorf("sample: unknown SampleMode(%d)", int(r.Opts.SampleMode))
+	}
+}
+
+// Slice advances the batch from state by at most sliceRuns runs (0 means
+// no bound), recording coverage and failure detail into the returned
+// state, and reports whether the shard's batch is complete. Pause
+// semantics are those of sched.SeededSlice: runs already claimed finish,
+// and the returned state is an exact resume point. The input state's
+// coverage map is reused (not copied) by the returned state.
+func (r *ResumableBatch) Slice(ctx context.Context, state *BatchState, sliceRuns int, pause func() bool) (*BatchState, bool, error) {
+	if err := r.validate(); err != nil {
+		return state, false, err
+	}
+	if state == nil {
+		return state, false, fmt.Errorf("sample: nil batch state (use Init)")
+	}
+	policyFor, err := r.policyFor(state)
+	if err != nil {
+		return state, false, err
+	}
+	if state.Classes == nil {
+		state.Classes = map[uint64]int{}
+	}
+
+	var mu sync.Mutex // guards Classes and the failure-detail fields below
+	failedRun, violation := state.FailedRun, state.Violation
+	failedMsg, failedErr := state.FailedMessage, state.failedErr
+
+	visit := func(i int, res *sched.Result, err error) error {
+		seed := sched.DeriveRunSeed(r.Opts.Seed, i)
+		record := func(violates bool, inner error) *RunError {
+			mu.Lock()
+			if failedRun < 0 || i < failedRun {
+				failedRun, violation = i, violates
+				failedMsg, failedErr = inner.Error(), inner
+			}
+			mu.Unlock()
+			return &RunError{Mode: r.Opts.SampleMode, Run: i, Seed: seed, Violation: violates, Err: inner}
+		}
+		if err != nil {
+			return record(false, err)
+		}
+		// Record coverage before checking, so the failing run's own
+		// class is part of the reported coverage. Keep the smallest run
+		// index per class: the minimum is interleaving-independent.
+		h := sched.CanonicalTraceHash(res.Schedule, sched.OpIndependent)
+		mu.Lock()
+		if first, ok := state.Classes[h]; !ok || i < first {
+			state.Classes[h] = i
+		}
+		mu.Unlock()
+		if r.Check != nil {
+			if cerr := r.Check(res); cerr != nil {
+				return record(true, cerr)
+			}
+		}
+		return nil
+	}
+
+	pool, done, err := sched.SeededSlice(ctx, r.N, r.IDs, r.Opts, r.Opts.SampleRuns,
+		policyFor, r.Build, visit, &state.Pool, sliceRuns, pause)
+	if err != nil {
+		return state, false, err
+	}
+	next := &BatchState{
+		Depth:         state.Depth,
+		Horizon:       state.Horizon,
+		Pool:          *pool,
+		Classes:       state.Classes,
+		FailedRun:     failedRun,
+		Violation:     violation,
+		FailedMessage: failedMsg,
+		failedErr:     failedErr,
+	}
+	return next, done, nil
+}
+
+// Finalize merges completed shard states into the batch's Report and
+// verdict, identical to what the uninterrupted single-process Explore
+// returns: the coverage figure counts distinct trace classes over the
+// runs up to and including the smallest failing one (all runs, when every
+// shard verified), and a failure is reported as a *RunError for that
+// smallest run. States must be the complete shard set of one batch: one
+// state per shard, all complete, with matching PCT parameters.
+func (r *ResumableBatch) Finalize(states ...*BatchState) (Report, error) {
+	rep := Report{Mode: r.Opts.SampleMode, FailedRun: -1}
+	if err := r.validate(); err != nil {
+		return rep, err
+	}
+	if len(states) == 0 {
+		return rep, fmt.Errorf("sample: finalize needs at least one batch state")
+	}
+	of := len(states)
+	seen := make(map[int]bool, of)
+	best := -1 // smallest failing global run index across shards
+	var bestState *BatchState
+	for i, st := range states {
+		if st == nil {
+			return rep, fmt.Errorf("sample: finalize: state %d is nil", i)
+		}
+		pool := st.Pool
+		if pool.Of == 0 {
+			pool.Of = 1
+		}
+		if pool.Of != of {
+			return rep, fmt.Errorf("sample: finalize: state %d is shard %d of %d, but %d states were given", i, pool.Shard, pool.Of, of)
+		}
+		if pool.Shard < 0 || pool.Shard >= of || seen[pool.Shard] {
+			return rep, fmt.Errorf("sample: finalize: duplicate or out-of-range shard %d", pool.Shard)
+		}
+		seen[pool.Shard] = true
+		if !st.Pool.SeededDone(r.Opts.SampleRuns) {
+			return rep, fmt.Errorf("sample: finalize: shard %d has not completed (next run %d)", pool.Shard, pool.Next)
+		}
+		if st.Depth != states[0].Depth || st.Horizon != states[0].Horizon {
+			return rep, fmt.Errorf("sample: finalize: shard %d PCT parameters (depth %d, horizon %d) differ from shard 0's (depth %d, horizon %d)",
+				pool.Shard, st.Depth, st.Horizon, states[0].Depth, states[0].Horizon)
+		}
+		if st.FailedRun >= 0 && (best < 0 || st.FailedRun < best) {
+			best, bestState = st.FailedRun, st
+		}
+	}
+	rep.Depth, rep.Horizon = states[0].Depth, states[0].Horizon
+
+	count := r.Opts.SampleRuns
+	if best >= 0 {
+		count = best + 1
+	}
+	rep.Runs = count
+	classes := make(map[uint64]struct{})
+	for _, st := range states {
+		for h, first := range st.Classes {
+			if first < count {
+				classes[h] = struct{}{}
+			}
+		}
+	}
+	rep.Classes = len(classes)
+	if best < 0 {
+		return rep, nil
+	}
+	inner := bestState.failedErr
+	if inner == nil {
+		inner = errors.New(bestState.FailedMessage)
+	}
+	re := &RunError{
+		Mode:      r.Opts.SampleMode,
+		Run:       best,
+		Seed:      sched.DeriveRunSeed(r.Opts.Seed, best),
+		Violation: bestState.Violation,
+		Err:       inner,
+	}
+	rep.FailedRun, rep.FailedSeed = re.Run, re.Seed
+	return rep, re
+}

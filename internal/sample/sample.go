@@ -111,7 +111,7 @@ func Explore(ctx context.Context, n int, ids []int, opts sched.ExploreOptions, b
 		if depth <= 0 {
 			depth = DefaultDepth
 		}
-		horizon := probeHorizon(n, ids, maxSteps, build)
+		horizon := ProbeHorizon(n, ids, maxSteps, build)
 		rep.Depth, rep.Horizon = depth, horizon
 		policyFor = func(i int) sched.Policy {
 			return NewPCT(sched.DeriveRunSeed(opts.Seed, i), n, depth, horizon)
@@ -153,12 +153,14 @@ func Explore(ctx context.Context, n int, ids []int, opts sched.ExploreOptions, b
 	return rep, err
 }
 
-// probeHorizon measures the protocol's run length under a deterministic
+// ProbeHorizon measures the protocol's run length under a deterministic
 // round-robin schedule, for drawing PCT change points over a realistic
 // step range: drawing over the worst-case step budget (4096*n by default)
 // would land almost every change point past the end of the run and
-// silently degrade PCT to plain priority scheduling.
-func probeHorizon(n int, ids []int, maxSteps int, build func() sched.Body) int {
+// silently degrade PCT to plain priority scheduling. It is deterministic,
+// which is what lets every shard of a campaign measure it independently
+// and agree.
+func ProbeHorizon(n int, ids []int, maxSteps int, build func() sched.Body) int {
 	runner := sched.NewRunner(n, ids, sched.NewRoundRobin(), sched.WithMaxSteps(maxSteps))
 	res, err := runner.Run(build())
 	if err != nil || res.Steps < 1 {

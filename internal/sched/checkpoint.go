@@ -1,0 +1,341 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// This file is the checkpoint layer of the exhaustive/POR engine: the
+// discovery pass runs in bounded slices, and between slices its entire
+// state — the unexplored frontier (with sleep sets), the run counters,
+// the best failure, and the canonical-trace memo — is a plain serializable
+// value. The key invariant making this exact rather than approximate:
+// the sleep-set walk keeps no cross-subtree state outside the frontier
+// items themselves (each item carries its own sleep set), so the set of
+// runs executed from a frontier F is a pure function of F, never of how
+// the engine arrived at F. Processing any subset of F and collecting the
+// remainder therefore commutes with worker interleaving, process death
+// and machine boundaries alike — which is what lets a campaign resume
+// after a kill, and lets disjoint partitions of F run as shards on
+// different machines and be merged.
+//
+// Two deliberate deviations from the one-shot Explore path, both settled
+// at Finalize time: a failure restored from a checkpoint carries only its
+// rendered message (error chains do not serialize), and the counting pass
+// that fixes the schedule count below a violation is re-run from the root
+// rather than checkpointed — it is read-only, pruned by the settled bound,
+// and much cheaper than discovery.
+
+// ExploreState is the serializable discovery-pass state of the
+// exhaustive/partial-order-reduced exploration engine: everything needed
+// to continue (or merge) an exploration is in this value. The zero value
+// is not meaningful; use RootExploreState for a fresh exploration.
+type ExploreState struct {
+	// Frontier is the unexplored work: one entry per schedule prefix
+	// whose subtree has not been walked, sorted lexicographically (the
+	// order is cosmetic — any permutation resumes to the same outcome).
+	Frontier []FrontierState `json:"frontier"`
+	// Claimed counts run-budget slots consumed so far (schedules plus,
+	// under reduction, pruned probe runs); MaxRuns is enforced against
+	// it across resumes.
+	Claimed int64 `json:"claimed"`
+	// Completed counts verified schedules (trace classes under
+	// reduction).
+	Completed int64 `json:"completed"`
+	// Failure is the lexicographically smallest failed run seen so far,
+	// nil while every run has verified.
+	Failure *FailureState `json:"failure,omitempty"`
+	// MemoHashes is the canonical-trace memo (ReductionSleepMemo only):
+	// the sorted class hashes already counted.
+	MemoHashes []uint64 `json:"memo_hashes,omitempty"`
+}
+
+// FrontierState is one serialized frontier item: a schedule prefix and,
+// under partial-order reduction, the sleep set at the node it reaches.
+type FrontierState struct {
+	Choices []int `json:"choices"`
+	Sleep   []int `json:"sleep,omitempty"`
+}
+
+// FailureState is a serialized exploration failure. Only the rendered
+// message survives serialization; a restored failure compares equal to
+// the original by text, not by errors.Is identity.
+type FailureState struct {
+	Choices []int  `json:"choices"`
+	Message string `json:"message"`
+	err     error  // live error when the failure happened in this process
+}
+
+// Err returns the failure's error: the original error value when the
+// failure was recorded in this process, or an opaque error carrying the
+// checkpointed message after a restore.
+func (f *FailureState) Err() error {
+	if f.err != nil {
+		return f.err
+	}
+	return errors.New(f.Message)
+}
+
+// RootExploreState is the initial state of a fresh exploration: the
+// frontier holds only the root (unconstrained) prefix.
+func RootExploreState() *ExploreState {
+	return &ExploreState{Frontier: []FrontierState{{Choices: []int{}}}}
+}
+
+// done reports whether discovery has drained: no frontier left to walk.
+func (s *ExploreState) done() bool { return len(s.Frontier) == 0 }
+
+// ResumableExplorer drives the exhaustive/POR engine in bounded slices
+// with serializable state between them — the campaign subsystem's view of
+// the engine. N, IDs, Opts, Build and Check play exactly the roles they
+// do for Explore; Opts must describe an enumerating mode (SampleRuns and
+// CrashRuns are rejected — those modes resume via the seeded-run pool,
+// see SeededSlice).
+type ResumableExplorer struct {
+	N     int
+	IDs   []int
+	Opts  ExploreOptions
+	Build func() Body
+	Check func(*Result) error
+}
+
+func (r *ResumableExplorer) validate() (ExploreOptions, error) {
+	if err := r.Opts.Validate(); err != nil {
+		return r.Opts, err
+	}
+	if r.Opts.SampleRuns > 0 || r.Opts.CrashRuns > 0 {
+		return r.Opts, fmt.Errorf("sched: resumable exploration is the enumerating engine; sampling and crash sweeps resume via SeededSlice")
+	}
+	return r.Opts.withDefaults(r.N), nil
+}
+
+// Slice advances the discovery pass from state by at most sliceRuns
+// claimed runs (0 means no slice bound), returning the advanced state and
+// whether discovery is complete. A nil state means RootExploreState().
+//
+// Slice returns early — with the state of the work done so far, complete
+// and resumable — when pause returns true or ctx is canceled: frontier
+// items already popped by a worker are processed to completion (their
+// results counted, their branches pushed), un-popped items are collected
+// back into the state, so nothing is lost or double-counted. The only
+// error conditions are invalid options and an exhausted MaxRuns budget
+// (which, as in Explore, is terminal rather than resumable).
+func (r *ResumableExplorer) Slice(ctx context.Context, state *ExploreState, sliceRuns int, pause func() bool) (*ExploreState, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts, err := r.validate()
+	if err != nil {
+		return state, false, err
+	}
+	if state == nil {
+		state = RootExploreState()
+	}
+	if state.done() {
+		return state, true, nil
+	}
+
+	e := newExplorer(ctx, r.N, r.IDs, opts, r.Build, r.Check, nil)
+	e.claimed.Store(state.Claimed)
+	e.completed.Store(state.Completed)
+	if state.Failure != nil {
+		e.best = &exploreFailure{
+			choices: append([]int(nil), state.Failure.Choices...),
+			err:     state.Failure.Err(),
+		}
+	}
+	if e.memo != nil {
+		for _, h := range state.MemoHashes {
+			e.memo.insert(h)
+		}
+	}
+	for i, it := range state.Frontier {
+		e.pushTo(i%len(e.shards), frontierItem{
+			choices: append([]int(nil), it.Choices...),
+			sleep:   append([]int(nil), it.Sleep...),
+		})
+	}
+	if sliceRuns > 0 {
+		e.sliceLimit = state.Claimed + int64(sliceRuns)
+	}
+	e.pause = pause
+	e.runWorkers()
+
+	if e.budgetHit.Load() {
+		return state, false, fmt.Errorf("%w (after %d runs)", ErrExplorationBudget, opts.MaxRuns)
+	}
+	next := e.collectState()
+	return next, next.done(), nil
+}
+
+// collectState snapshots an explorer whose workers have exited into a
+// serializable state. The frontier is sorted lexicographically so the
+// serialized form is a deterministic function of its contents.
+func (e *explorer) collectState() *ExploreState {
+	st := &ExploreState{
+		Claimed:   e.claimed.Load(),
+		Completed: e.completed.Load(),
+	}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, it := range s.items {
+			st.Frontier = append(st.Frontier, FrontierState{Choices: it.choices, Sleep: it.sleep})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(st.Frontier, func(i, j int) bool {
+		return lexLess(st.Frontier[i].Choices, st.Frontier[j].Choices)
+	})
+	if st.Frontier == nil {
+		st.Frontier = []FrontierState{}
+	}
+	e.mu.Lock()
+	if e.best != nil {
+		st.Failure = &FailureState{
+			Choices: append([]int(nil), e.best.choices...),
+			Message: e.best.err.Error(),
+			err:     e.best.err,
+		}
+	}
+	e.mu.Unlock()
+	if e.memo != nil {
+		st.MemoHashes = e.memo.hashes()
+	}
+	return st
+}
+
+// Finalize turns one or more completed discovery states — the one state
+// of a single campaign, or the per-shard states of a sharded one — into
+// the (count, err) verdict Explore would have returned: the number of
+// verified schedules (distinct trace classes when the memo reduction
+// merged counts), and on failure the lexicographically smallest violation
+// with the count of schedules up to and including it, recomputed by a
+// counting pass against the settled global bound. It is an error to
+// finalize a state whose frontier has not drained.
+func (r *ResumableExplorer) Finalize(ctx context.Context, states ...*ExploreState) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts, err := r.validate()
+	if err != nil {
+		return 0, err
+	}
+	if len(states) == 0 {
+		return 0, fmt.Errorf("sched: finalize needs at least one exploration state")
+	}
+	var (
+		completed int64
+		best      *FailureState
+		union     map[uint64]struct{}
+	)
+	if opts.Reduction == ReductionSleepMemo {
+		union = make(map[uint64]struct{})
+	}
+	for i, st := range states {
+		if st == nil {
+			return 0, fmt.Errorf("sched: finalize of shard %d: nil exploration state", i)
+		}
+		if !st.done() {
+			return 0, fmt.Errorf("sched: finalize of shard %d: discovery has not drained (%d frontier items left)", i, len(st.Frontier))
+		}
+		completed += st.Completed
+		if st.Failure != nil && (best == nil || lexLess(st.Failure.Choices, best.Choices)) {
+			best = st.Failure
+		}
+		if union != nil {
+			for _, h := range st.MemoHashes {
+				union[h] = struct{}{}
+			}
+		}
+	}
+	if union != nil {
+		// Memo mode counts distinct trace classes; shards deduplicate
+		// only within themselves, so the merged figure is the union.
+		completed = int64(len(union))
+	}
+	if best == nil {
+		return int(completed), nil
+	}
+	// The counting pass: re-walk the tree pruned against the settled
+	// lexicographic bound, exactly as Explore does after discovery.
+	recount := newRootExplorer(ctx, r.N, r.IDs, opts, r.Build, nil, best.Choices)
+	recount.runWorkers()
+	count := int(recount.countBelow.Load()) + 1
+	ferr := best.Err()
+	if recount.budgetHit.Load() {
+		ferr = fmt.Errorf("%w (schedule count truncated: %w)", ferr, ErrExplorationBudget)
+	} else if cerr := ctx.Err(); cerr != nil {
+		ferr = fmt.Errorf("%w (schedule count truncated: exploration canceled: %w)", ferr, cerr)
+	}
+	return count, ferr
+}
+
+// SeedShards deterministically splits a fresh exploration into m shard
+// states whose independent walks union to exactly the single-process
+// walk: it expands the tree single-threaded in depth-first order for a
+// fixed number of runs (a pure function of m), then deals the resulting
+// frontier round-robin — in lexicographic order — across the shards.
+// The expansion's own results (counted schedules, any failure, memo
+// hashes) are attributed to shard 0. Shards beyond the frontier size
+// receive empty (immediately complete) states.
+//
+// Each shard of a campaign calls SeedShards itself and keeps only its
+// partition: the expansion is deterministic, so coordination-free.
+func (r *ResumableExplorer) SeedShards(ctx context.Context, m int) ([]*ExploreState, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("sched: shard count must be >= 1 (got %d)", m)
+	}
+	if m == 1 {
+		return []*ExploreState{RootExploreState()}, nil
+	}
+	seed := *r
+	seed.Opts.Workers = 1 // single-threaded: the expansion order is the DFS order
+	seedRuns := 16 * m
+	st, _, err := seed.Slice(ctx, nil, seedRuns, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sched: shard seeding: %w", err)
+	}
+	states := make([]*ExploreState, m)
+	for i := range states {
+		states[i] = &ExploreState{Frontier: []FrontierState{}}
+	}
+	// Shard 0 carries the expansion's results; the frontier (already
+	// lex-sorted by collectState) is dealt round-robin so every shard
+	// gets a mix of shallow and deep prefixes.
+	states[0].Claimed = st.Claimed
+	states[0].Completed = st.Completed
+	states[0].Failure = st.Failure
+	states[0].MemoHashes = st.MemoHashes
+	for j, it := range st.Frontier {
+		s := states[j%m]
+		s.Frontier = append(s.Frontier, it)
+	}
+	return states, nil
+}
+
+// EqualExploreStates reports whether two states describe the same point
+// of the same exploration (used by tests and snapshot verification).
+func EqualExploreStates(a, b *ExploreState) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Claimed != b.Claimed || a.Completed != b.Completed || len(a.Frontier) != len(b.Frontier) {
+		return false
+	}
+	for i := range a.Frontier {
+		if !slices.Equal(a.Frontier[i].Choices, b.Frontier[i].Choices) ||
+			!slices.Equal(a.Frontier[i].Sleep, b.Frontier[i].Sleep) {
+			return false
+		}
+	}
+	if (a.Failure == nil) != (b.Failure == nil) {
+		return false
+	}
+	if a.Failure != nil && (a.Failure.Message != b.Failure.Message || !slices.Equal(a.Failure.Choices, b.Failure.Choices)) {
+		return false
+	}
+	return slices.Equal(a.MemoHashes, b.MemoHashes)
+}

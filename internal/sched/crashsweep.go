@@ -27,20 +27,36 @@ func ExploreCrashes(ctx context.Context, n int, ids []int, opts ExploreOptions, 
 	}
 	opts = opts.withDefaults(n)
 	return ExploreSeeded(ctx, n, ids, opts, opts.CrashRuns,
-		func(i int) Policy {
-			return NewRandomCrash(DeriveRunSeed(opts.Seed, i), opts.CrashProb, opts.MaxCrashes)
-		},
-		build,
-		func(i int, res *Result, err error) error {
-			if err != nil {
-				return fmt.Errorf("sched: crash sweep run %d (seed %d): %w", i, DeriveRunSeed(opts.Seed, i), err)
-			}
-			if check == nil {
-				return nil
-			}
-			if cerr := check(res); cerr != nil {
-				return fmt.Errorf("sched: crash sweep run %d (seed %d) violates property: %w", i, DeriveRunSeed(opts.Seed, i), cerr)
-			}
+		CrashSweepPolicies(n, opts), build, CrashSweepCheck(n, opts, check))
+}
+
+// CrashSweepPolicies returns the per-run policy constructor of a crash
+// sweep under opts: run i is scheduled by a RandomCrash policy seeded
+// with DeriveRunSeed(opts.Seed, i). The campaign subsystem uses it to
+// resume a sweep through the seeded-run pool (SeededSlice) with exactly
+// the policies ExploreCrashes would construct.
+func CrashSweepPolicies(n int, opts ExploreOptions) func(run int) Policy {
+	opts = opts.withDefaults(n)
+	return func(i int) Policy {
+		return NewRandomCrash(DeriveRunSeed(opts.Seed, i), opts.CrashProb, opts.MaxCrashes)
+	}
+}
+
+// CrashSweepCheck returns the per-run visit function of a crash sweep:
+// run errors and property violations are wrapped with the run index and
+// its derived (replayable) seed, exactly as ExploreCrashes reports them.
+func CrashSweepCheck(n int, opts ExploreOptions, check func(*Result) error) func(run int, res *Result, err error) error {
+	opts = opts.withDefaults(n)
+	return func(i int, res *Result, err error) error {
+		if err != nil {
+			return fmt.Errorf("sched: crash sweep run %d (seed %d): %w", i, DeriveRunSeed(opts.Seed, i), err)
+		}
+		if check == nil {
 			return nil
-		})
+		}
+		if cerr := check(res); cerr != nil {
+			return fmt.Errorf("sched: crash sweep run %d (seed %d) violates property: %w", i, DeriveRunSeed(opts.Seed, i), cerr)
+		}
+		return nil
+	}
 }

@@ -195,7 +195,7 @@ func Explore(ctx context.Context, n int, ids []int, opts ExploreOptions, build f
 		return ExploreCrashes(ctx, n, ids, opts, build, check)
 	}
 
-	e := newExplorer(ctx, n, ids, opts, build, check, nil)
+	e := newRootExplorer(ctx, n, ids, opts, build, check, nil)
 	e.runWorkers()
 
 	if f := e.best; f != nil {
@@ -205,7 +205,7 @@ func Explore(ctx context.Context, n int, ids []int, opts ExploreOptions, build f
 		// which visits a subset of the discovery pass's prefixes — cannot
 		// exhaust it either, so the count is exact; otherwise the
 		// truncation is surfaced on the returned error.
-		recount := newExplorer(ctx, n, ids, opts, build, nil, f.choices)
+		recount := newRootExplorer(ctx, n, ids, opts, build, nil, f.choices)
 		recount.runWorkers()
 		count := int(recount.countBelow.Load()) + 1
 		err := f.err
@@ -284,6 +284,14 @@ type explorer struct {
 
 	bound []int // fixed pruning bound for the counting pass; nil during discovery
 
+	// Checkpoint pause points (checkpoint.go). Workers stop claiming new
+	// frontier items — leaving the remaining frontier collectable — when
+	// pause returns true or total claimed runs reach sliceLimit; items
+	// already popped are always processed to completion, so a paused
+	// frontier plus the counters is an exact resume point.
+	pause      func() bool
+	sliceLimit int64
+
 	indep Independence // commutation oracle; nil without reduction
 	memo  *traceMemo   // canonical-trace dedupe; nil unless ReductionSleepMemo
 
@@ -311,8 +319,27 @@ func newExplorer(ctx context.Context, n int, ids []int, opts ExploreOptions, bui
 	for i := range e.shards {
 		e.shards[i] = &exploreShard{}
 	}
-	e.pushTo(0, frontierItem{choices: []int{}}) // the root: the unconstrained run
 	return e
+}
+
+// newRootExplorer is newExplorer primed with the root frontier item (the
+// unconstrained run); resumable explorations instead restore a saved
+// frontier (checkpoint.go).
+func newRootExplorer(ctx context.Context, n int, ids []int, opts ExploreOptions, build func() Body, check func(*Result) error, bound []int) *explorer {
+	e := newExplorer(ctx, n, ids, opts, build, check, bound)
+	e.pushTo(0, frontierItem{choices: []int{}})
+	return e
+}
+
+// stopClaiming reports whether a checkpoint pause point fired: workers
+// return without popping further frontier items (but finish the item in
+// hand), so the frontier left behind is a complete description of the
+// remaining work.
+func (e *explorer) stopClaiming() bool {
+	if e.sliceLimit > 0 && e.claimed.Load() >= e.sliceLimit {
+		return true
+	}
+	return e.pause != nil && e.pause()
 }
 
 func (e *explorer) runWorkers() {
@@ -340,6 +367,9 @@ func (e *explorer) worker(w int) {
 	idle := 0
 	for {
 		if e.ctx.Err() != nil {
+			return
+		}
+		if e.stopClaiming() {
 			return
 		}
 		item, ok := e.popOwn(w)

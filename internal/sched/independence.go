@@ -3,6 +3,7 @@ package sched
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -162,4 +163,24 @@ func (m *traceMemo) admit(h uint64) bool {
 	}
 	m.seen[h] = struct{}{}
 	return true
+}
+
+// insert records h without reporting novelty (checkpoint restore).
+func (m *traceMemo) insert(h uint64) {
+	m.mu.Lock()
+	m.seen[h] = struct{}{}
+	m.mu.Unlock()
+}
+
+// hashes returns the recorded class hashes in ascending order, so a
+// serialized memo is a deterministic function of its contents.
+func (m *traceMemo) hashes() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]uint64, 0, len(m.seen))
+	for h := range m.seen {
+		out = append(out, h)
+	}
+	slices.Sort(out)
+	return out
 }

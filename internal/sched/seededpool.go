@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -88,33 +89,151 @@ func ExploreSeeded(ctx context.Context, n int, ids []int, opts ExploreOptions, r
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := opts.Validate(); err != nil {
+	st, _, err := SeededSlice(ctx, n, ids, opts, runs, policyFor, build, visit, nil, 0, nil)
+	if err != nil {
 		return 0, err
 	}
-	if runs <= 0 {
-		return 0, fmt.Errorf("sched: seeded run pool needs runs > 0 (got %d)", runs)
+	if st.Failure != nil {
+		return st.Failure.Run + 1, st.Failure.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		// Report runs that actually executed, not claimed run indices:
+		// a worker that claimed an index and then saw the cancellation
+		// (or the end-of-batch sentinel) exited without running it.
+		return int(st.Completed), fmt.Errorf("sched: seeded run pool canceled: %w", err)
+	}
+	return runs, nil
+}
+
+// SeededState is the serializable state of a (possibly sharded) seeded
+// batch: shard Shard of Of owns the global run indices Shard, Shard+Of,
+// Shard+2*Of, …, and has executed the first Next of them. Because local
+// indices are claimed strictly in order and every claimed pre-failure
+// index is executed before a slice returns, (Shard, Of, Next, Failure)
+// is an exact resume point: re-running from it executes exactly the runs
+// an uninterrupted batch would have. The zero value of Shard/Of means
+// shard 0 of 1 (the whole batch).
+type SeededState struct {
+	Shard int   `json:"shard"`
+	Of    int   `json:"of"`
+	Next  int64 `json:"next"`
+	// Completed counts runs executed to completion (equal to Next except
+	// after a failure, where claimed-but-skipped indices are not run).
+	Completed int64 `json:"completed"`
+	// Failure is the smallest failing run of the shard, nil while every
+	// run has verified.
+	Failure *SeededFailure `json:"failure,omitempty"`
+}
+
+// SeededFailure is a serialized seeded-run failure: the global run index
+// and the rendered error. As with FailureState, only the message survives
+// serialization.
+type SeededFailure struct {
+	Run     int    `json:"run"`
+	Message string `json:"message"`
+	err     error
+}
+
+// Err returns the failure's error: the original value when recorded in
+// this process, or an opaque error with the checkpointed message.
+func (f *SeededFailure) Err() error {
+	if f.err != nil {
+		return f.err
+	}
+	return errors.New(f.Message)
+}
+
+// normalized returns the state with zero-valued sharding defaulted to
+// shard 0 of 1.
+func (s *SeededState) normalized() *SeededState {
+	if s == nil {
+		s = &SeededState{}
+	}
+	if s.Of <= 0 {
+		s = &SeededState{Shard: s.Shard, Of: 1, Next: s.Next, Completed: s.Completed, Failure: s.Failure}
+	}
+	return s
+}
+
+// localTotal is the number of global indices < total owned by the shard.
+func (s *SeededState) localTotal(total int) int64 {
+	if total <= s.Shard {
+		return 0
+	}
+	return int64((total-s.Shard-1)/s.Of + 1)
+}
+
+// SeededDone reports whether the batch described by state is complete for
+// a batch of total runs: the shard's index space is exhausted, or a
+// failure has settled the outcome (indices are claimed in order, so no
+// later run can precede it).
+func (s *SeededState) SeededDone(total int) bool {
+	s = s.normalized()
+	return s.Failure != nil || s.Next >= s.localTotal(total)
+}
+
+// SeededSlice advances a seeded batch from state by at most sliceRuns
+// runs (0 means no slice bound): run i of the shard's index space is
+// scheduled by policyFor(globalIndex) against a fresh build() instance,
+// and visit sees its outcome exactly as in ExploreSeeded. It returns the
+// advanced state and whether the batch is complete (see SeededDone). A
+// nil state means shard 0 of 1 from the beginning.
+//
+// Like ResumableExplorer.Slice, a pause (pause() true or ctx canceled)
+// returns early with an exact resume point: runs already claimed finish,
+// no new ones start. The returned error reports only invalid arguments;
+// per-run failures live in the state's Failure field, which settles the
+// batch (SeededDone) without being an error of the pool itself.
+func SeededSlice(ctx context.Context, n int, ids []int, opts ExploreOptions, total int,
+	policyFor func(run int) Policy, build func() Body, visit func(run int, res *Result, err error) error,
+	state *SeededState, sliceRuns int, pause func() bool) (*SeededState, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return state, false, err
+	}
+	if total <= 0 {
+		return state, false, fmt.Errorf("sched: seeded run pool needs runs > 0 (got %d)", total)
+	}
+	state = state.normalized()
+	if state.Shard < 0 || state.Shard >= state.Of {
+		return state, false, fmt.Errorf("sched: seeded shard %d outside [0, %d)", state.Shard, state.Of)
+	}
+	if state.SeededDone(total) {
+		return state, true, nil
 	}
 	opts = opts.withDefaults(n)
 
+	localTotal := state.localTotal(total)
+	sliceEnd := localTotal
+	if sliceRuns > 0 && state.Next+int64(sliceRuns) < sliceEnd {
+		sliceEnd = state.Next + int64(sliceRuns)
+	}
+
 	var (
 		next      atomic.Int64
-		completed atomic.Int64 // runs actually executed to completion
+		completed atomic.Int64 // runs executed during this slice
 		mu        sync.Mutex
-		bestIdx   = -1
+		bestIdx   = -1 // smallest failing global index
 		bestErr   error
 		wg        sync.WaitGroup
 	)
-	record := func(i int, err error) {
+	next.Store(state.Next)
+	if state.Failure != nil {
+		bestIdx, bestErr = state.Failure.Run, state.Failure.Err()
+	}
+	record := func(g int, err error) {
 		mu.Lock()
 		defer mu.Unlock()
-		if bestIdx < 0 || i < bestIdx {
-			bestIdx, bestErr = i, err
+		if bestIdx < 0 || g < bestIdx {
+			bestIdx, bestErr = g, err
 		}
 	}
-	failedBefore := func(i int) bool {
+	failedBefore := func(g int) bool {
 		mu.Lock()
 		defer mu.Unlock()
-		return bestIdx >= 0 && i > bestIdx
+		return bestIdx >= 0 && g > bestIdx
 	}
 
 	for w := 0; w < opts.Workers; w++ {
@@ -130,37 +249,50 @@ func ExploreSeeded(ctx context.Context, n int, ids []int, opts ExploreOptions, r
 				if ctx.Err() != nil {
 					return
 				}
-				i := int(next.Add(1)) - 1
-				if i >= runs {
+				if pause != nil && pause() {
 					return
 				}
-				if failedBefore(i) {
+				k := next.Add(1) - 1
+				if k >= sliceEnd {
+					return
+				}
+				g := state.Shard + int(k)*state.Of
+				if failedBefore(g) {
 					// An earlier run already failed; later runs cannot
 					// change the reported outcome. Indices are claimed in
 					// order, so returning drains the pool.
 					return
 				}
-				runner.Reset(policyFor(i))
+				runner.Reset(policyFor(g))
 				res, err := runner.Run(build())
 				completed.Add(1)
-				if verr := visit(i, res, err); verr != nil {
-					record(i, verr)
+				if verr := visit(g, res, err); verr != nil {
+					record(g, verr)
 				}
 			}
 		}()
 	}
 	wg.Wait()
 
+	// The executed local indices are contiguous from state.Next: a worker
+	// that claims an index always runs it unless a stop condition that is
+	// a pure function of the index fired (end of batch, slice bound, an
+	// earlier failure) — ctx/pause are checked before claiming, never
+	// after. The watermark therefore never overshoots an unexecuted run.
+	claimed := next.Load()
+	if claimed > sliceEnd {
+		claimed = sliceEnd
+	}
+	out := &SeededState{
+		Shard:     state.Shard,
+		Of:        state.Of,
+		Next:      claimed,
+		Completed: state.Completed + completed.Load(),
+	}
 	mu.Lock()
-	defer mu.Unlock()
 	if bestIdx >= 0 {
-		return bestIdx + 1, bestErr
+		out.Failure = &SeededFailure{Run: bestIdx, Message: bestErr.Error(), err: bestErr}
 	}
-	if err := ctx.Err(); err != nil {
-		// Report runs that actually executed, not claimed run indices:
-		// a worker that claimed an index and then saw the cancellation
-		// (or the i >= runs sentinel) exited without running it.
-		return int(completed.Load()), fmt.Errorf("sched: seeded run pool canceled: %w", err)
-	}
-	return runs, nil
+	mu.Unlock()
+	return out, out.SeededDone(total), nil
 }

@@ -34,9 +34,15 @@ func ExploreVerified(ctx context.Context, spec gsb.Spec, ids []int, opts sched.E
 		func(res *sched.Result) error { return verifyResult(spec, res) })
 }
 
-// verifyResult applies the RunVerified acceptance rule to one recorded
+// VerifyResult applies the RunVerified acceptance rule to one recorded
 // run: spec.Verify on the full output vector of crash-free runs,
-// spec.VerifyPartial on the decided prefix otherwise.
+// spec.VerifyPartial on the decided prefix otherwise. It is the per-run
+// check every verification mode in this repository shares — exploration,
+// sampling, crash sweeps, and the campaign subsystem's resumable forms
+// of all three.
+func VerifyResult(spec gsb.Spec, res *sched.Result) error { return verifyResult(spec, res) }
+
+// verifyResult is the unexported form VerifyResult wraps.
 func verifyResult(spec gsb.Spec, res *sched.Result) error {
 	crashed := false
 	for _, c := range res.Crashed {
