@@ -21,10 +21,11 @@ race:
 # Benchmark smoke: compile and execute every benchmark once, then emit
 # the machine-readable exploration report (schedule counts, runs/sec,
 # partial-order-reduction factors) tracked across PRs. This regenerates
-# the committed baseline BENCH_sched.json.
+# the committed baseline BENCH_sched.json and the per-entry pprof CPU
+# profiles under profiles/ (docs/metrics.md).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
-	$(GO) run ./cmd/gsbbench -out BENCH_sched.json
+	$(GO) run ./cmd/gsbbench -out BENCH_sched.json -profiles profiles
 
 # Benchmark regression gate: measure into BENCH_ci.json and fail on
 # throughput drops (>25%), allocs-per-run growth, or schedule/class count
@@ -35,9 +36,12 @@ bench:
 # environmental, so regenerate the baseline on a machine no faster than
 # the CI runners (a slower box only loosens the throughput gate, never
 # tightens it) or raise -max-drop when runners change generation.
+# The gate run writes its own profiles into profiles-ci/ (not committed;
+# CI uploads them as an artifact so a caught regression ships with the
+# profile that explains it).
 bench-compare:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
-	$(GO) run ./cmd/gsbbench -out BENCH_ci.json -compare BENCH_sched.json
+	$(GO) run ./cmd/gsbbench -out BENCH_ci.json -compare BENCH_sched.json -profiles profiles-ci
 
 lint:
 	$(GO) vet ./...

@@ -6,8 +6,15 @@
 //
 // Usage:
 //
-//	gsbbench [-out BENCH_sched.json] [-workers 0] [-full]
+//	gsbbench [-out BENCH_sched.json] [-workers 0] [-full] [-profiles DIR]
 //	gsbbench -out BENCH_ci.json -compare BENCH_sched.json
+//
+// -profiles DIR writes a pprof CPU profile per entry into DIR (file
+// names derive from the entry identity; each entry records its own in
+// the report's "profile" field), so every benchmark run leaves behind
+// the data to answer "where did the time go" — inspect one with
+// `go tool pprof gsbbench DIR/NAME.pprof`. `make bench` regenerates the
+// committed baseline profiles under profiles/ alongside BENCH_sched.json.
 //
 // The default profile finishes in seconds; -full adds the larger
 // explorations that partial-order reduction makes newly reachable
@@ -33,8 +40,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"repro"
@@ -89,7 +99,10 @@ type Entry struct {
 	Classes  int     `json:"classes,omitempty"`
 	Coverage float64 `json:"coverage,omitempty"`
 	PCTDepth int     `json:"pct_depth,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	// Profile is the file name of this measurement's pprof CPU profile
+	// inside the -profiles directory (`go tool pprof <binary> <profile>`).
+	Profile string `json:"profile,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // Report is the top-level BENCH_sched.json document.
@@ -214,11 +227,31 @@ func sampleCases(full bool) []benchCase {
 
 func measureSample(c benchCase, workers, runs int, mode repro.SampleMode, depth int) Entry {
 	opts := repro.ExploreOptions{Workers: workers, Seed: 1, SampleRuns: runs, SampleMode: mode, Depth: depth}
-	m0 := mallocs()
-	start := time.Now()
-	rep, err := repro.SampleVerified(context.Background(), c.spec, repro.DefaultIDs(c.n), opts, c.build)
-	elapsed := time.Since(start)
-	m1 := mallocs()
+	once := func() (repro.SampleReport, time.Duration, uint64, error) {
+		m0 := mallocs()
+		start := time.Now()
+		rep, err := repro.SampleVerified(context.Background(), c.spec, repro.DefaultIDs(c.n), opts, c.build)
+		elapsed := time.Since(start)
+		m1 := mallocs()
+		return rep, elapsed, m1 - m0, err
+	}
+	rep, elapsed, allocs, err := once()
+	reps := 1
+	for err == nil && elapsed < minMeasure && reps < maxMeasureReps {
+		rep2, elapsed2, allocs2, err2 := once()
+		if err2 != nil {
+			err = err2
+			break
+		}
+		if rep2.Runs != rep.Runs || rep2.Classes != rep.Classes {
+			err = fmt.Errorf("seeded batch drifted across repetitions: %d runs/%d classes then %d/%d",
+				rep.Runs, rep.Classes, rep2.Runs, rep2.Classes)
+			break
+		}
+		elapsed += elapsed2
+		allocs += allocs2
+		reps++
+	}
 	e := Entry{
 		Name:       c.name,
 		Task:       c.spec.String(),
@@ -232,10 +265,10 @@ func measureSample(c benchCase, workers, runs int, mode repro.SampleMode, depth 
 		ElapsedSec: elapsed.Seconds(),
 	}
 	if elapsed > 0 {
-		e.RunsPerSec = float64(rep.Runs) / elapsed.Seconds()
+		e.RunsPerSec = float64(rep.Runs*reps) / elapsed.Seconds()
 	}
 	if rep.Runs > 0 {
-		e.AllocsPerRun = float64(m1-m0) / float64(rep.Runs)
+		e.AllocsPerRun = float64(allocs) / float64(rep.Runs*reps)
 	}
 	if err != nil {
 		e.Error = err.Error()
@@ -247,6 +280,18 @@ func measure(c benchCase, workers int, reduction repro.Reduction) Entry {
 	return measureOpts(c, workers, repro.ExploreOptions{Workers: workers, MaxRuns: 1 << 22, Reduction: reduction}, false)
 }
 
+// minMeasure is the smallest wall-clock window a throughput figure may
+// be derived from. A micro instance (slot renaming at n=2 verifies 8
+// reduced schedules in a couple of milliseconds) is dominated by
+// scheduler noise in a single sample and flakes the -compare gate;
+// measurements finishing sooner are repeated — identical configuration,
+// deterministic counts checked for drift — and aggregated.
+const minMeasure = 250 * time.Millisecond
+
+// maxMeasureReps bounds the repetition loop for degenerate measurements
+// whose elapsed time stays near zero.
+const maxMeasureReps = 1000
+
 // measureBudgeted measures raw exhaustive engine throughput over a fixed
 // run budget of a tree too large to finish; hitting the budget is the
 // expected outcome, not an error.
@@ -257,13 +302,32 @@ func measureBudgeted(c benchCase, workers int) Entry {
 }
 
 func measureOpts(c benchCase, workers int, opts repro.ExploreOptions, budgeted bool) Entry {
-	m0 := mallocs()
-	start := time.Now()
-	count, err := repro.ExploreVerified(context.Background(), c.spec, repro.DefaultIDs(c.n), opts, c.build)
-	elapsed := time.Since(start)
-	m1 := mallocs()
-	if budgeted && errors.Is(err, repro.ErrExplorationBudget) {
-		err = nil
+	once := func() (int, time.Duration, uint64, error) {
+		m0 := mallocs()
+		start := time.Now()
+		count, err := repro.ExploreVerified(context.Background(), c.spec, repro.DefaultIDs(c.n), opts, c.build)
+		elapsed := time.Since(start)
+		m1 := mallocs()
+		if budgeted && errors.Is(err, repro.ErrExplorationBudget) {
+			err = nil
+		}
+		return count, elapsed, m1 - m0, err
+	}
+	count, elapsed, allocs, err := once()
+	reps := 1
+	for err == nil && elapsed < minMeasure && reps < maxMeasureReps {
+		count2, elapsed2, allocs2, err2 := once()
+		if err2 != nil {
+			err = err2
+			break
+		}
+		if count2 != count {
+			err = fmt.Errorf("schedule count drifted across repetitions: %d then %d", count, count2)
+			break
+		}
+		elapsed += elapsed2
+		allocs += allocs2
+		reps++
 	}
 	e := Entry{
 		Name:       c.name,
@@ -275,10 +339,10 @@ func measureOpts(c benchCase, workers int, opts repro.ExploreOptions, budgeted b
 		ElapsedSec: elapsed.Seconds(),
 	}
 	if elapsed > 0 {
-		e.RunsPerSec = float64(count) / elapsed.Seconds()
+		e.RunsPerSec = float64(count*reps) / elapsed.Seconds()
 	}
 	if count > 0 {
-		e.AllocsPerRun = float64(m1-m0) / float64(count)
+		e.AllocsPerRun = float64(allocs) / float64(count*reps)
 	}
 	if err != nil {
 		e.Error = err.Error()
@@ -348,6 +412,65 @@ func measureRunnerGauge() Entry {
 	return e
 }
 
+// profileSlug is the pprof file name of one measurement: the same
+// identity components as entryKey, joined into a filesystem-safe name
+// ("slot-renaming-2.sleep-sets.pprof", "box-6-3.none.budget100000.pprof").
+func profileSlug(name, mode, reduction string, budget int) string {
+	parts := []string{name}
+	if mode != "" {
+		parts = append(parts, mode)
+	}
+	if reduction != "" {
+		parts = append(parts, reduction)
+	}
+	if budget > 0 {
+		parts = append(parts, fmt.Sprintf("budget%d", budget))
+	}
+	slug := strings.Join(parts, ".")
+	slug = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, slug)
+	return slug + ".pprof"
+}
+
+// profiled runs one measurement under a CPU profile written to
+// dir/<slug> (dir empty: no profiling). Measurements run sequentially,
+// so the process-wide profiler is free each time; a profiling error
+// marks the entry failed rather than silently dropping the profile.
+func profiled(dir, slug string, measure func() Entry) Entry {
+	if dir == "" {
+		return measure()
+	}
+	path := filepath.Join(dir, slug)
+	f, err := os.Create(path)
+	if err == nil {
+		err = pprof.StartCPUProfile(f)
+		if err != nil {
+			f.Close()
+		}
+	}
+	if err != nil {
+		e := measure()
+		if e.Error == "" {
+			e.Error = fmt.Sprintf("cpu profile: %v", err)
+		}
+		return e
+	}
+	e := measure()
+	pprof.StopCPUProfile()
+	if cerr := f.Close(); cerr != nil && e.Error == "" {
+		e.Error = fmt.Sprintf("cpu profile: %v", cerr)
+	}
+	e.Profile = slug
+	return e
+}
+
 // entryKey identifies an entry across reports: the measurement's name
 // and configuration, excluding machine-dependent fields (worker count
 // follows GOMAXPROCS, so it is part of the environment, not the
@@ -412,8 +535,15 @@ func main() {
 	compare := flag.String("compare", "", "baseline report to regression-gate against (fail on throughput drops, allocs growth, or count drift)")
 	maxDrop := flag.Float64("max-drop", 0.25, "with -compare, the largest tolerated relative runs/sec drop")
 	maxAllocsGrowth := flag.Float64("max-allocs-growth", 0.02, "with -compare, the largest tolerated relative allocs-per-run growth (the noise floor on 'any increase fails')")
+	profiles := flag.String("profiles", "", "directory for per-entry pprof CPU profiles (created if missing; empty = no profiling)")
 	flag.Parse()
 
+	if *profiles != "" {
+		if err := os.MkdirAll(*profiles, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbbench: -profiles: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -425,9 +555,11 @@ func main() {
 		Full:       *full,
 	}
 	for _, c := range cases(*full) {
-		reduced := measure(c, w, repro.ReductionSleepSets)
+		reduced := profiled(*profiles, profileSlug(c.name, "", repro.ReductionSleepSets.String(), 0),
+			func() Entry { return measure(c, w, repro.ReductionSleepSets) })
 		if !c.fullOnly {
-			exhaustive := measure(c, w, repro.ReductionNone)
+			exhaustive := profiled(*profiles, profileSlug(c.name, "", repro.ReductionNone.String(), 0),
+				func() Entry { return measure(c, w, repro.ReductionNone) })
 			if exhaustive.Error == "" && reduced.Error == "" && reduced.Schedules > 0 {
 				reduced.ReductionFactor = float64(exhaustive.Schedules) / float64(reduced.Schedules)
 			}
@@ -438,7 +570,8 @@ func main() {
 		if c.fullOnly && c.exhaustBudget > 0 {
 			// Raw exhaustive engine throughput over a fixed budget of a
 			// tree too big to finish (the runs/sec trajectory row).
-			budgeted := measureBudgeted(c, w)
+			budgeted := profiled(*profiles, profileSlug(c.name, "", repro.ReductionNone.String(), c.exhaustBudget),
+				func() Entry { return measureBudgeted(c, w) })
 			rep.Entries = append(rep.Entries, budgeted)
 			fmt.Printf("  %-18s n=%d %-12s %8d schedules  %8.0f runs/s  %6.1f allocs/run (budget)\n",
 				c.name, c.n, budgeted.Reduction, budgeted.Schedules, budgeted.RunsPerSec, budgeted.AllocsPerRun)
@@ -449,7 +582,7 @@ func main() {
 	}
 	// The runner's steady-state allocation gauge: pinned at zero
 	// allocs/step; exceeding the bound fails the bench run (and CI).
-	gauge := measureRunnerGauge()
+	gauge := profiled(*profiles, profileSlug("runner-steady-state", "allocs-gauge", "", 0), measureRunnerGauge)
 	rep.Entries = append(rep.Entries, gauge)
 	fmt.Printf("  %-18s n=%d %-12s %8d runs       %8.0f runs/s  %.4f allocs/step (bound %.2f)\n",
 		gauge.Name, gauge.N, gauge.Mode, gauge.Schedules, gauge.RunsPerSec, gauge.AllocsPerStep, maxSteadyAllocsPerStep)
@@ -461,7 +594,8 @@ func main() {
 	}
 	for _, c := range sampleCases(*full) {
 		for _, mode := range []repro.SampleMode{repro.SampleWalk, repro.SamplePCT} {
-			e := measureSample(c, w, sampleRuns, mode, 0)
+			e := profiled(*profiles, profileSlug(c.name, "sample-"+mode.String(), "", 0),
+				func() Entry { return measureSample(c, w, sampleRuns, mode, 0) })
 			rep.Entries = append(rep.Entries, e)
 			fmt.Printf("  %-18s n=%d %-12s %8d runs       %8.0f runs/s  %d classes (%.2f coverage)\n",
 				c.name, c.n, e.Mode, e.Schedules, e.RunsPerSec, e.Classes, e.Coverage)

@@ -9,12 +9,20 @@
 //
 //	gsbcampaign start  -ckpt run.ckpt -protocol slot-renaming -n 4 -mode por [-every 5000] [-shard 0/3]
 //	gsbcampaign resume -ckpt run.ckpt [-workers 8] [-every 5000]
-//	gsbcampaign status -ckpt run.ckpt [-json]
+//	gsbcampaign status -ckpt run.ckpt [-json | -watch [-interval 2s]]
 //	gsbcampaign merge  shard0.ckpt shard1.ckpt shard2.ckpt
 //
 // Modes (-mode): exhaustive, por, por-memo (enumerating; one schedule
 // per interleaving / trace class), walk, pct (statistical sampling of
 // -runs schedules), crash (randomized crash sweep of -runs runs).
+//
+// Observability (docs/metrics.md): start and resume take -metrics ADDR
+// (serve Prometheus /metrics plus a gsbstatus/v1 JSON /status endpoint
+// for the live campaign) and -progress DUR (write a gsbprogress/v1
+// NDJSON record to stderr every DUR; 0 disables). Counters are
+// cumulative across resumed lives — they are checkpointed with the
+// engine state. `status -watch` renders live progress for a running (or
+// finished) campaign by polling its snapshot file.
 //
 // SIGINT/SIGTERM pause the campaign at the next checkpoint boundary: the
 // engine stops claiming new work, finishes the runs in flight, writes the
@@ -35,11 +43,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro"
 )
@@ -88,9 +99,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  gsbcampaign start  -ckpt FILE -protocol NAME -n N -mode MODE [flags]
-  gsbcampaign resume -ckpt FILE [-workers W] [-every RUNS] [-json]
-  gsbcampaign status -ckpt FILE [-json]
+  gsbcampaign start  -ckpt FILE -protocol NAME -n N -mode MODE [-metrics ADDR] [-progress DUR] [flags]
+  gsbcampaign resume -ckpt FILE [-workers W] [-every RUNS] [-metrics ADDR] [-progress DUR] [-json]
+  gsbcampaign status -ckpt FILE [-json | -watch [-interval DUR]]
   gsbcampaign merge  [-json] SHARD.ckpt...
 modes: exhaustive | por | por-memo | walk | pct | crash
 run 'gsbcampaign start -h' for the start flags`)
@@ -147,6 +158,54 @@ func signalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
+// startObservability attaches the live observability surfaces to obs: an
+// HTTP listener serving /metrics and /status when addr is non-empty (the
+// bound address is announced on stderr, so ":0" works), and a
+// gsbprogress/v1 NDJSON ticker on stderr when every > 0 (plus one final
+// record at stop, so short campaigns still log their outcome). The
+// returned stop function shuts both down.
+func startObservability(obs *repro.CampaignObserver, addr string, every time.Duration) (func(), error) {
+	var ln net.Listener
+	if addr != "" {
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("-metrics %s: %w", addr, err)
+		}
+		fmt.Fprintf(os.Stderr, "gsbcampaign: serving /metrics and /status on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: obs.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+	}
+	stopTick := make(chan struct{})
+	doneTick := make(chan struct{})
+	if every > 0 {
+		go func() {
+			defer close(doneTick)
+			t := time.NewTicker(every)
+			defer t.Stop()
+			enc := json.NewEncoder(os.Stderr)
+			for {
+				select {
+				case <-t.C:
+					_ = enc.Encode(obs.Progress())
+				case <-stopTick:
+					_ = enc.Encode(obs.Progress())
+					return
+				}
+			}
+		}()
+	} else {
+		close(doneTick)
+	}
+	return func() {
+		close(stopTick)
+		<-doneTick
+		if ln != nil {
+			ln.Close()
+		}
+	}, nil
+}
+
 func cmdStart(args []string) int {
 	fs := flag.NewFlagSet("gsbcampaign start", flag.ExitOnError)
 	ckpt := fs.String("ckpt", "", "snapshot file (required)")
@@ -164,6 +223,8 @@ func cmdStart(args []string) int {
 	shardSpec := fs.String("shard", "", "run shard i of m (\"i/m\"); every shard gets its own -ckpt file")
 	force := fs.Bool("force", false, "overwrite an existing snapshot file")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON record")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus /metrics and JSON /status on this address (e.g. :9090)")
+	progress := fs.Duration("progress", 0, "write a gsbprogress/v1 NDJSON record to stderr every DUR (0 disables)")
 	fs.Parse(args)
 
 	if *ckpt == "" {
@@ -193,9 +254,17 @@ func cmdStart(args []string) int {
 		Protocol: *protocol, Spec: spec, Opts: opts, Build: build,
 		Shard: shard, Of: of, CheckpointEvery: *every, Path: *ckpt, Force: *force,
 	}
+	obs := repro.NewCampaignObserver()
+	cfg.Observer = obs
+	stop, err := startObservability(obs, *metricsAddr, *progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbcampaign start: %v\n", err)
+		return exitUsage
+	}
 	ctx, cancel := signalContext()
 	defer cancel()
 	rep, err := repro.RunCampaign(ctx, cfg)
+	stop()
 	return report(rep, err, *jsonOut)
 }
 
@@ -226,6 +295,8 @@ func cmdResume(args []string) int {
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	every := fs.Int("every", 0, "checkpoint interval in runs (0 = default)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON record")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus /metrics and JSON /status on this address (e.g. :9090)")
+	progress := fs.Duration("progress", 0, "write a gsbprogress/v1 NDJSON record to stderr every DUR (0 disables)")
 	fs.Parse(args)
 
 	if *ckpt == "" {
@@ -237,9 +308,17 @@ func cmdResume(args []string) int {
 		fmt.Fprintf(os.Stderr, "gsbcampaign resume: %v\n", err)
 		return exitFailed
 	}
+	obs := repro.NewCampaignObserver()
+	cfg.Observer = obs
+	stop, err := startObservability(obs, *metricsAddr, *progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbcampaign resume: %v\n", err)
+		return exitUsage
+	}
 	ctx, cancel := signalContext()
 	defer cancel()
 	rep, err := repro.ResumeCampaign(ctx, cfg)
+	stop()
 	return report(rep, err, *jsonOut)
 }
 
@@ -247,11 +326,16 @@ func cmdStatus(args []string) int {
 	fs := flag.NewFlagSet("gsbcampaign status", flag.ExitOnError)
 	ckpt := fs.String("ckpt", "", "snapshot file (required)")
 	jsonOut := fs.Bool("json", false, "emit the snapshot header as JSON")
+	watch := fs.Bool("watch", false, "poll the snapshot and render live progress until the campaign finishes")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval for -watch")
 	fs.Parse(args)
 
 	if *ckpt == "" {
 		fmt.Fprintln(os.Stderr, "gsbcampaign status: -ckpt is required")
 		return exitUsage
+	}
+	if *watch {
+		return watchStatus(*ckpt, *interval)
 	}
 	h, err := repro.CampaignStatus(*ckpt)
 	if err != nil {
@@ -286,6 +370,55 @@ func cmdStatus(args []string) int {
 		}
 	}
 	return exitOK
+}
+
+// watchStatus polls the snapshot header and prints one progress line per
+// tick until the campaign finishes. It follows a campaign run by another
+// process (the writer replaces the file atomically, so every read sees a
+// consistent snapshot); the printed rate is derived from successive
+// header run counts, i.e. it is checkpoint-granular. Ctrl-C stops the
+// watch without touching the campaign.
+func watchStatus(path string, interval time.Duration) int {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ctx, cancel := signalContext()
+	defer cancel()
+	var lastRuns int64 = -1
+	var lastTime time.Time
+	for {
+		h, err := repro.CampaignStatus(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbcampaign status: %v\n", err)
+			return exitFailed
+		}
+		now := time.Now()
+		rate := ""
+		if lastRuns >= 0 && h.Runs > lastRuns && now.After(lastTime) {
+			rate = fmt.Sprintf(", %.0f runs/sec", float64(h.Runs-lastRuns)/now.Sub(lastTime).Seconds())
+		}
+		line := fmt.Sprintf("%s shard %d/%d on %s: %d runs", h.Mode, h.Shard, h.Of, h.Task, h.Runs)
+		if h.Frontier > 0 {
+			line += fmt.Sprintf(", %d frontier prefixes", h.Frontier)
+		}
+		fmt.Printf("%s%s (checkpoint %s)\n", line, rate, h.Updated)
+		if h.Done {
+			if h.Result != nil && h.Result.Violation != "" {
+				fmt.Printf("verdict: VIOLATION after %d schedules: %s\n", h.Result.Schedules, h.Result.Violation)
+				return exitFailed
+			}
+			if h.Result != nil {
+				fmt.Printf("verdict: %d schedules verified\n", h.Result.Schedules)
+			}
+			return exitOK
+		}
+		lastRuns, lastTime = h.Runs, now
+		select {
+		case <-ctx.Done():
+			return exitOK
+		case <-time.After(interval):
+		}
+	}
 }
 
 func cmdMerge(args []string) int {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/sched"
 	"repro/internal/solvability"
+	"repro/internal/stats"
 	"repro/internal/tasks"
 	"repro/internal/topology"
 	"repro/internal/universal"
@@ -173,6 +174,25 @@ type (
 	CampaignHeader = campaign.Header
 	// CampaignMode names a campaign's verification mode.
 	CampaignMode = campaign.Mode
+	// CampaignObserver is the live observability endpoint of a running
+	// campaign shard: it owns the StatsRegistry the engines publish into
+	// and renders it as Prometheus /metrics, a JSON /status endpoint and
+	// gsbprogress/v1 NDJSON records (cmd/gsbcampaign's -metrics and
+	// -progress flags; docs/metrics.md).
+	CampaignObserver = campaign.Observer
+	// CampaignStatusRecord is one live progress observation — the /status
+	// response body (schema gsbstatus/v1) and the NDJSON progress record
+	// (schema gsbprogress/v1).
+	CampaignStatusRecord = campaign.StatusRecord
+	// StatsRegistry is the engine observability registry
+	// (internal/stats): named atomic counters/gauges/histograms with
+	// zero-allocation publishing, Prometheus rendering, and serializable
+	// snapshots that campaigns checkpoint and merge. Attach one via
+	// ExploreOptions.Stats (or use a CampaignObserver's).
+	StatsRegistry = stats.Registry
+	// StatsSnapshot is a serializable point-in-time copy of a registry:
+	// carried in campaign checkpoints and final reports.
+	StatsSnapshot = stats.Snapshot
 )
 
 // Campaign modes (derived from ExploreOptions by CampaignModeOf).
@@ -198,6 +218,10 @@ var (
 	MergeCampaigns = campaign.Merge
 	CampaignStatus = campaign.Status
 	CampaignModeOf = campaign.ModeOf
+	// NewStatsRegistry creates an empty observability registry;
+	// NewCampaignObserver an observer with its own registry.
+	NewStatsRegistry    = stats.New
+	NewCampaignObserver = campaign.NewObserver
 	// ErrCampaignPaused marks an interrupted-but-checkpointed campaign;
 	// ErrCampaignOptionsMismatch a resume/merge whose options do not
 	// match the snapshot's.

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/gsb"
 	"repro/internal/sample"
 	"repro/internal/sched"
+	"repro/internal/stats"
 	"repro/internal/tasks"
 )
 
@@ -96,6 +98,40 @@ type Config struct {
 	// just written). Tests use it to kill campaigns at exact checkpoint
 	// boundaries; the CLI uses it for progress logging.
 	OnCheckpoint func(Header)
+	// Observer, when set, is the campaign's live observability endpoint
+	// (see NewObserver): the engines publish into its registry, and its
+	// Handler/Progress views report live rates, ETA and checkpoint age.
+	// When nil and Opts.Stats is also nil, the campaign still keeps a
+	// private registry so checkpoints carry cumulative counters.
+	Observer *Observer
+}
+
+// Campaign-layer metric names (the engine-layer ones are the sched Metric
+// constants; docs/metrics.md is the reference for all of them).
+const (
+	// MetricCheckpointWrites counts snapshot writes, cumulative across
+	// resumed lives like every counter.
+	MetricCheckpointWrites = "gsb_checkpoint_writes_total"
+	// MetricCheckpointSeconds is the snapshot write latency histogram
+	// (encode, write, sync, rename). The timed write happens after the
+	// registry is snapshotted into the checkpoint, so write N's latency
+	// first appears in checkpoint N+1 (and live on the endpoints).
+	MetricCheckpointSeconds = "gsb_checkpoint_write_seconds"
+	// MetricCheckpointBytes gauges the size of the last snapshot written.
+	MetricCheckpointBytes = "gsb_checkpoint_bytes"
+)
+
+// ensureStats resolves the registry the campaign's engines publish into:
+// the caller's (Opts.Stats), the observer's, or a fresh private one —
+// checkpoints carry cumulative counters either way.
+func (c *Config) ensureStats() *stats.Registry {
+	if c.Opts.Stats == nil && c.Observer != nil {
+		c.Opts.Stats = c.Observer.Registry()
+	}
+	if c.Opts.Stats == nil {
+		c.Opts.Stats = stats.New()
+	}
+	return c.Opts.Stats
 }
 
 func (c *Config) normalize() error {
@@ -171,6 +207,10 @@ type Report struct {
 	// Checkpoints counts snapshot writes in this process.
 	Done        bool `json:"done"`
 	Checkpoints int  `json:"checkpoints"`
+	// Stats is the observability registry's cumulative totals at
+	// completion: summed across resumed lives, and — for a merged report —
+	// across shards (with the exact-count counters recomputed, see Merge).
+	Stats *stats.Snapshot `json:"stats,omitempty"`
 }
 
 func (c *Config) body() func() sched.Body {
@@ -200,6 +240,7 @@ func Start(ctx context.Context, cfg Config) (Report, error) {
 			return Report{}, fmt.Errorf("campaign: snapshot %s already exists (resume it, or pass force to overwrite)", cfg.Path)
 		}
 	}
+	cfg.ensureStats()
 	p, err := initialState(ctx, &cfg)
 	if err != nil {
 		return Report{}, err
@@ -223,6 +264,7 @@ func Resume(ctx context.Context, cfg Config) (Report, error) {
 	if err := matchHeader(cfg.header(), h); err != nil {
 		return Report{}, err
 	}
+	cfg.ensureStats()
 	return run(ctx, &cfg, p)
 }
 
@@ -243,7 +285,15 @@ func initialState(ctx context.Context, cfg *Config) (payload, error) {
 	n := cfg.Spec.N()
 	switch ModeOf(cfg.Opts).family() {
 	case "explore":
-		r := &sched.ResumableExplorer{N: n, IDs: cfg.IDs, Opts: cfg.Opts, Build: cfg.body(), Check: cfg.check()}
+		// Every shard re-runs the same deterministic expansion, whose
+		// results are attributed to shard 0 — so only shard 0 publishes
+		// the expansion's stats, keeping summed shard totals equal to an
+		// unsharded run's (see sched.ResumableExplorer.SeedShards).
+		opts := cfg.Opts
+		if cfg.Shard != 0 {
+			opts.Stats = nil
+		}
+		r := &sched.ResumableExplorer{N: n, IDs: cfg.IDs, Opts: opts, Build: cfg.body(), Check: cfg.check()}
 		states, err := r.SeedShards(ctx, cfg.Of)
 		if err != nil {
 			return payload{}, err
@@ -271,6 +321,19 @@ func run(ctx context.Context, cfg *Config, p payload) (Report, error) {
 	n := cfg.Spec.N()
 	h := cfg.header()
 	checkpoints := 0
+
+	reg := cfg.ensureStats()
+	if p.Stats != nil {
+		// Cumulative counters: fold the checkpointed totals of previous
+		// process lives into this life's registry before any engine runs.
+		reg.Restore(*p.Stats)
+	}
+	ckptWrites := reg.Counter(MetricCheckpointWrites, "Campaign snapshot writes.")
+	ckptSeconds := reg.Histogram(MetricCheckpointSeconds, "Campaign snapshot write latency in seconds (encode, write, sync, rename).", nil)
+	ckptBytes := reg.Gauge(MetricCheckpointBytes, "Size in bytes of the last campaign snapshot written.")
+	if cfg.Observer != nil {
+		cfg.Observer.attach(h, shardTotal(cfg))
+	}
 
 	slice := func(p payload) (payload, bool, error) {
 		switch {
@@ -307,12 +370,28 @@ func run(ctx context.Context, cfg *Config, p payload) (Report, error) {
 		if done {
 			rep, verdict = finalize(ctx, cfg, p)
 			rep.Checkpoints = checkpoints + 1
+		}
+		// Snapshot the registry into the checkpoint (and the final
+		// report) before the timed write: the write's own latency lands
+		// live on the endpoints and in the next checkpoint.
+		snap := reg.Snapshot()
+		p.Stats = &snap
+		if done {
+			rep.Stats = &snap
 			h.Result = &rep
 		}
-		if werr := writeSnapshot(cfg.Path, h, p); werr != nil {
+		wstart := time.Now()
+		nbytes, werr := writeSnapshot(cfg.Path, h, p)
+		if werr != nil {
 			return Report{}, werr
 		}
+		ckptSeconds.Observe(time.Since(wstart).Seconds())
+		ckptWrites.Inc()
+		ckptBytes.Set(int64(nbytes))
 		checkpoints++
+		if cfg.Observer != nil {
+			cfg.Observer.checkpoint(h)
+		}
 		if cfg.OnCheckpoint != nil {
 			cfg.OnCheckpoint(h)
 		}
@@ -322,6 +401,7 @@ func run(ctx context.Context, cfg *Config, p payload) (Report, error) {
 		if cerr := ctx.Err(); cerr != nil {
 			rep := provisionalReport(cfg, p)
 			rep.Checkpoints = checkpoints
+			rep.Stats = p.Stats
 			return rep, fmt.Errorf("%w (snapshot %s, %d runs done): %v", ErrPaused, cfg.Path, h.Runs, cerr)
 		}
 	}
@@ -338,6 +418,24 @@ func progress(p payload) (runs int64, frontier int) {
 		return p.Crash.Completed, 0
 	}
 	return 0, 0
+}
+
+// shardTotal is the shard-local run budget of the seeded modes (the
+// SampleRuns/CrashRuns indices owned by cfg's shard) — the ETA
+// denominator. 0 for the enumerating family, whose total is unknowable up
+// front (no ETA).
+func shardTotal(cfg *Config) int64 {
+	total := 0
+	switch ModeOf(cfg.Opts).family() {
+	case "sample":
+		total = cfg.Opts.SampleRuns
+	case "crash":
+		total = cfg.Opts.CrashRuns
+	}
+	if total <= cfg.Shard {
+		return 0
+	}
+	return int64((total-cfg.Shard-1)/cfg.Of + 1)
 }
 
 // provisionalReport renders a paused or single-shard-incomplete state.

@@ -6,7 +6,28 @@ import (
 
 	"repro/internal/sample"
 	"repro/internal/sched"
+	"repro/internal/stats"
 )
+
+// mergeStats sums the shard snapshots' observability totals: the merged
+// counters equal an uninterrupted unsharded run's (the exact-count
+// counters are recomputed by Merge, see there). Nil when no shard carried
+// stats — snapshots written by a build predating the stats payload field.
+func mergeStats(payloads []payload) *stats.Snapshot {
+	var sum stats.Snapshot
+	found := false
+	for _, p := range payloads {
+		if p.Stats == nil {
+			continue
+		}
+		sum = sum.Add(*p.Stats)
+		found = true
+	}
+	if !found {
+		return nil
+	}
+	return &sum
+}
 
 // Merge combines the finished shard snapshots of one campaign into the
 // single report — verdict, schedule/class counts, lex-min violation —
@@ -64,6 +85,28 @@ func Merge(ctx context.Context, cfg Config, paths []string) (Report, error) {
 		Mode: ModeOf(cfg.Opts), Protocol: cfg.Protocol, Task: cfg.Spec.String(),
 		Shard: 0, Of: len(paths), Done: true, FailedRun: -1,
 	}
+	rep.Stats = mergeStats(payloads)
+	defer func() {
+		// The exact-count counters are recomputed from the merged report:
+		// per-shard first sightings over-count classes shared between
+		// shards, and under the memo reduction per-shard schedule counts
+		// over-count classes the same way. On a violation the counters
+		// keep the raw summed work figures — the report's counts then
+		// describe the lex-min violation, not the work done.
+		if rep.Stats == nil || rep.Violation != "" {
+			return
+		}
+		switch ModeOf(cfg.Opts).family() {
+		case "explore":
+			if rep.Stats.Counters != nil {
+				rep.Stats.Counters[sched.MetricSchedules] = int64(rep.Schedules)
+			}
+		case "sample":
+			if rep.Stats.Counters != nil {
+				rep.Stats.Counters[sample.MetricClasses] = int64(rep.Classes)
+			}
+		}
+	}()
 	n := cfg.Spec.N()
 	switch ModeOf(cfg.Opts).family() {
 	case "explore":

@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/sample"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// This file is the live view of a running campaign: an Observer owns the
+// stats registry the engines publish into and renders it three ways —
+// Prometheus /metrics, a JSON /status endpoint (schema gsbstatus/v1), and
+// periodic NDJSON progress records (schema gsbprogress/v1) for shard
+// logs. The run loop feeds it identity and checkpoint events; rates are
+// computed against a base that is re-anchored after a resume restores the
+// checkpointed totals, so runs/sec measures this process life while the
+// run counters stay cumulative.
+
+// Schema identifiers of the observer's JSON records.
+const (
+	// StatusSchema tags /status responses.
+	StatusSchema = "gsbstatus/v1"
+	// ProgressSchema tags the periodic NDJSON progress records written to
+	// stderr by gsbcampaign -progress.
+	ProgressSchema = "gsbprogress/v1"
+)
+
+// StatusRecord is one progress observation of a campaign shard — the
+// /status response body and, with Time set, one gsbprogress/v1 NDJSON
+// line. Counter fields are cumulative across resumed lives; rate fields
+// measure the current process life.
+type StatusRecord struct {
+	Schema   string `json:"schema"`
+	Time     string `json:"time,omitempty"` // RFC3339, progress records only
+	Mode     Mode   `json:"mode"`
+	Protocol string `json:"protocol"`
+	Task     string `json:"task"`
+	Shard    int    `json:"shard"`
+	Of       int    `json:"of"`
+	Done     bool   `json:"done"`
+	// Runs is gsb_runs_total (every engine run, probe runs included);
+	// Schedules and Classes are the verified-schedule and distinct-class
+	// counters of the enumerating and sampling engines.
+	Runs      int64 `json:"runs"`
+	Schedules int64 `json:"schedules"`
+	Classes   int64 `json:"classes,omitempty"`
+	// Frontier is the exploration frontier gauge (explore family only).
+	Frontier int64 `json:"frontier,omitempty"`
+	// TotalRuns is the shard-local run budget (seeded modes; 0 when the
+	// total is unknowable, explore family), the denominator behind
+	// ETASec. ETASec is omitted until a rate is measurable.
+	TotalRuns  int64   `json:"total_runs,omitempty"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	ETASec     float64 `json:"eta_sec,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// Checkpoints counts snapshot writes (cumulative);
+	// LastCheckpointAgeSec is the age of the newest one, absent before
+	// the first write of this life.
+	Checkpoints          int64    `json:"checkpoints"`
+	LastCheckpointAgeSec *float64 `json:"last_checkpoint_age_sec,omitempty"`
+}
+
+// Observer is the live observability endpoint of one campaign shard: set
+// it as Config.Observer and serve Handler, or poll Progress. An Observer
+// observes one campaign at a time (Start/Resume re-attach it); the zero
+// value is not usable, use NewObserver.
+type Observer struct {
+	reg *stats.Registry
+
+	mu          sync.Mutex
+	h           Header    // identity + latest checkpointed progress
+	total       int64     // shard-local run budget; 0 = unknown
+	start       time.Time // rate base: attach time (post-restore)
+	base        int64     // gsb_runs_total at the rate base
+	lastCkpt    time.Time // last snapshot write of this life
+	checkpoints int64     // cumulative, restored base included
+	attached    bool
+}
+
+// NewObserver returns an observer with a fresh registry.
+func NewObserver() *Observer {
+	return &Observer{reg: stats.New()}
+}
+
+// Registry is the stats registry the observed campaign publishes into.
+func (o *Observer) Registry() *stats.Registry { return o.reg }
+
+// attach (re-)anchors the observer on a campaign: called by the run loop
+// after any checkpointed totals have been restored into the registry, so
+// the rate base separates this life's work from restored history.
+func (o *Observer) attach(h Header, total int64) {
+	snap := o.reg.Snapshot()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.h = h
+	o.total = total
+	o.start = time.Now()
+	o.base = snap.Counter(sched.MetricRuns)
+	o.lastCkpt = time.Time{}
+	o.checkpoints = snap.Counter(MetricCheckpointWrites)
+	o.attached = true
+}
+
+// checkpoint records a snapshot write (the header just written).
+func (o *Observer) checkpoint(h Header) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.h = h
+	o.lastCkpt = time.Now()
+	o.checkpoints++
+}
+
+// Progress renders the current state as a gsbprogress/v1 record
+// (timestamped, for NDJSON logs).
+func (o *Observer) Progress() StatusRecord {
+	rec := o.status()
+	rec.Schema = ProgressSchema
+	rec.Time = time.Now().UTC().Format(time.RFC3339)
+	return rec
+}
+
+func (o *Observer) status() StatusRecord {
+	snap := o.reg.Snapshot()
+	now := time.Now()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	rec := StatusRecord{
+		Schema:      StatusSchema,
+		Mode:        o.h.Mode,
+		Protocol:    o.h.Protocol,
+		Task:        o.h.Task,
+		Shard:       o.h.Shard,
+		Of:          o.h.Of,
+		Done:        o.h.Done,
+		Runs:        snap.Counter(sched.MetricRuns),
+		Schedules:   snap.Counter(sched.MetricSchedules),
+		Classes:     snap.Counter(sample.MetricClasses),
+		Frontier:    snap.Gauges[sched.MetricFrontierDepth],
+		TotalRuns:   o.total,
+		Checkpoints: o.checkpoints,
+	}
+	if !o.attached {
+		return rec
+	}
+	elapsed := now.Sub(o.start).Seconds()
+	rec.ElapsedSec = elapsed
+	if elapsed > 0 {
+		rec.RunsPerSec = float64(rec.Runs-o.base) / elapsed
+	}
+	if o.total > 0 && rec.RunsPerSec > 0 && !rec.Done {
+		if left := o.total - rec.Runs; left > 0 {
+			rec.ETASec = float64(left) / rec.RunsPerSec
+		}
+	}
+	if !o.lastCkpt.IsZero() {
+		age := now.Sub(o.lastCkpt).Seconds()
+		rec.LastCheckpointAgeSec = &age
+	}
+	return rec
+}
+
+// Handler serves the observability endpoints: GET /metrics (Prometheus
+// text exposition of the registry) and GET /status (a gsbstatus/v1 JSON
+// StatusRecord). It is what gsbcampaign -metrics binds.
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(o.status())
+	})
+	return mux
+}

@@ -1,0 +1,274 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sample"
+	"repro/internal/sched"
+)
+
+// statsCounters extracts the deterministic engine counters from a report:
+// runs always; schedules for the explore family; classes for the sample
+// family. Steals, prunes and the checkpoint metrics are inherently
+// interleaving- or life-dependent and are never differential-tested.
+func statsCounters(t *testing.T, label string, rep Report) map[string]int64 {
+	t.Helper()
+	if rep.Stats == nil {
+		t.Fatalf("%s: report carries no stats snapshot", label)
+	}
+	out := map[string]int64{sched.MetricRuns: rep.Stats.Counter(sched.MetricRuns)}
+	switch rep.Mode.family() {
+	case "explore":
+		out[sched.MetricSchedules] = rep.Stats.Counter(sched.MetricSchedules)
+		out[sched.MetricAborts] = rep.Stats.Counter(sched.MetricAborts)
+	case "sample":
+		out[sample.MetricClasses] = rep.Stats.Counter(sample.MetricClasses)
+	}
+	return out
+}
+
+func diffCounters(t *testing.T, label string, got, want map[string]int64) {
+	t.Helper()
+	for name, w := range want {
+		if g := got[name]; g != w {
+			t.Errorf("%s: %s = %d, want %d (uninterrupted reference)", label, name, g, w)
+		}
+	}
+}
+
+// TestCampaignStatsKillResumeCumulative is the resume-preserves-counters
+// differential: a campaign killed at random checkpoints and resumed until
+// done must report exactly the cumulative counter totals of an
+// uninterrupted run — not the last process life's. Clean (non-violating)
+// protocols only: with a violation in flight, pruning races make the
+// work-done counters legitimately nondeterministic.
+func TestCampaignStatsKillResumeCumulative(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	killed := 0 // campaigns that died at least once across the matrix
+	for _, tc := range campCases(t) {
+		for _, mode := range campModes {
+			opts := optsFor(mode, 2)
+			label := fmt.Sprintf("%s %s", tc.name, mode)
+
+			ref, err := Start(context.Background(), cfgFor(tc, opts, filepath.Join(t.TempDir(), "ref.ckpt")))
+			if err != nil {
+				t.Fatalf("%s: reference campaign: %v", label, err)
+			}
+			want := statsCounters(t, label, ref)
+
+			cfg := cfgFor(tc, opts, filepath.Join(t.TempDir(), "c.ckpt"))
+			cfg.CheckpointEvery = 50
+			var rep Report
+			lives := 0
+			for attempt := 0; ; attempt++ {
+				if attempt > 1000 {
+					t.Fatalf("%s: campaign failed to finish after %d kills", label, attempt)
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				killAt := 1 + rng.Intn(3)
+				seen := 0
+				cfg.OnCheckpoint = func(Header) {
+					if seen++; seen == killAt {
+						cancel()
+					}
+				}
+				if attempt == 0 {
+					rep, err = Start(ctx, cfg)
+				} else {
+					rep, err = Resume(ctx, cfg)
+				}
+				cancel()
+				lives++
+				if !errors.Is(err, ErrPaused) {
+					break
+				}
+			}
+			if err != nil {
+				t.Fatalf("%s: resumed campaign: %v", label, err)
+			}
+			if lives >= 2 {
+				killed++
+				// The registry is snapshotted before each timed write, so
+				// checkpoint N records N-1 writes: a multi-life campaign
+				// must still have accumulated earlier lives' writes.
+				if w := rep.Stats.Counter(MetricCheckpointWrites); w < 1 {
+					t.Errorf("%s: %s = %d across %d lives", label, MetricCheckpointWrites, w, lives)
+				}
+			}
+			diffCounters(t, label, statsCounters(t, label, rep), want)
+		}
+	}
+	if killed == 0 {
+		t.Fatal("no campaign in the matrix was ever killed; the differential tested nothing")
+	}
+}
+
+// TestCampaignStatsMergeCumulative: the merged stats of a 3-way sharded
+// campaign equal an unsharded run's — runs sum exactly, and the
+// exact-count counters (schedules, classes) are recomputed by Merge.
+func TestCampaignStatsMergeCumulative(t *testing.T) {
+	for _, tc := range campCases(t) {
+		for _, mode := range campModes {
+			const shards = 3
+			opts := optsFor(mode, 2)
+			label := fmt.Sprintf("%s %s", tc.name, mode)
+
+			ref, err := Start(context.Background(), cfgFor(tc, opts, filepath.Join(t.TempDir(), "ref.ckpt")))
+			if err != nil {
+				t.Fatalf("%s: reference campaign: %v", label, err)
+			}
+			want := statsCounters(t, label, ref)
+			if mode == ModePORMemo {
+				// Shards deduplicate trace classes only within themselves,
+				// so summed aborts legitimately differ from an unsharded
+				// run's; runs and the recomputed schedule count still match.
+				delete(want, sched.MetricAborts)
+			}
+
+			dir := t.TempDir()
+			paths := make([]string, shards)
+			for s := 0; s < shards; s++ {
+				paths[s] = filepath.Join(dir, fmt.Sprintf("shard-%d.ckpt", s))
+				cfg := cfgFor(tc, opts, paths[s])
+				cfg.Shard, cfg.Of = s, shards
+				cfg.CheckpointEvery = 40
+				if _, err := Start(context.Background(), cfg); err != nil {
+					t.Fatalf("%s shard %d: %v", label, s, err)
+				}
+			}
+			rep, err := Merge(context.Background(), cfgFor(tc, opts, paths[0]), paths)
+			if err != nil {
+				t.Fatalf("%s: merge: %v", label, err)
+			}
+			diffCounters(t, label, statsCounters(t, label, rep), want)
+		}
+	}
+}
+
+// TestObserverEndpoints runs a deterministic walk campaign to completion
+// under an Observer and golden-checks the /metrics and /status endpoints
+// against the final report.
+func TestObserverEndpoints(t *testing.T) {
+	tc := campCases(t)[0]
+	opts := optsFor(ModeWalk, 2)
+	obs := NewObserver()
+	cfg := cfgFor(tc, opts, filepath.Join(t.TempDir(), "c.ckpt"))
+	cfg.CheckpointEvery = 100
+	cfg.Observer = obs
+	rep, err := Start(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	metrics := string(raw)
+	for _, line := range []string{
+		fmt.Sprintf("%s %d", sched.MetricRuns, opts.SampleRuns),
+		fmt.Sprintf("%s %d", sample.MetricClasses, rep.Classes),
+		fmt.Sprintf("%s %d", MetricCheckpointWrites, rep.Checkpoints),
+		"# TYPE " + MetricCheckpointSeconds + " histogram",
+	} {
+		if !strings.Contains(metrics, line+"\n") {
+			t.Errorf("/metrics missing line %q in:\n%s", line, metrics)
+		}
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatusRecord
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if st.Schema != StatusSchema {
+		t.Errorf("/status schema = %q, want %q", st.Schema, StatusSchema)
+	}
+	if !st.Done || st.Runs != int64(opts.SampleRuns) || st.Classes != int64(rep.Classes) {
+		t.Errorf("/status = %+v, want done with runs=%d classes=%d", st, opts.SampleRuns, rep.Classes)
+	}
+	if st.Mode != ModeWalk || st.Protocol != tc.name || st.Of != 1 {
+		t.Errorf("/status identity = %+v", st)
+	}
+	if st.TotalRuns != int64(opts.SampleRuns) || st.Checkpoints != int64(rep.Checkpoints) {
+		t.Errorf("/status totals = %+v, want total_runs=%d checkpoints=%d", st, opts.SampleRuns, rep.Checkpoints)
+	}
+	if st.LastCheckpointAgeSec == nil || *st.LastCheckpointAgeSec < 0 {
+		t.Errorf("/status last_checkpoint_age_sec = %v, want >= 0", st.LastCheckpointAgeSec)
+	}
+
+	prog := obs.Progress()
+	if prog.Schema != ProgressSchema || prog.Time == "" {
+		t.Errorf("progress record = %+v, want schema %q with a timestamp", prog, ProgressSchema)
+	}
+	if prog.Runs != int64(opts.SampleRuns) {
+		t.Errorf("progress runs = %d, want %d", prog.Runs, opts.SampleRuns)
+	}
+}
+
+// TestObserverRebaseAfterResume: a resumed campaign's runs/sec measures
+// the current life while its run counters stay cumulative — the rate base
+// must re-anchor past the restored totals, or a freshly resumed campaign
+// would report an absurd instantaneous rate.
+func TestObserverRebaseAfterResume(t *testing.T) {
+	tc := campCases(t)[0]
+	opts := optsFor(ModeWalk, 2)
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	cfg := cfgFor(tc, opts, path)
+	cfg.CheckpointEvery = 50
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.OnCheckpoint = func(Header) { cancel() }
+	_, err := Start(ctx, cfg)
+	cancel()
+	if !errors.Is(err, ErrPaused) {
+		t.Fatalf("expected a paused campaign, got %v", err)
+	}
+
+	obs := NewObserver()
+	cfg.OnCheckpoint = nil
+	cfg.Observer = obs
+	rep, err := Resume(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	st := obs.status()
+	if st.Runs != int64(opts.SampleRuns) {
+		t.Errorf("resumed status runs = %d, want cumulative %d", st.Runs, opts.SampleRuns)
+	}
+	// The restored 50 runs happened in the first life: this life's rate
+	// base must exclude them, so rate * elapsed is bounded by the runs
+	// this life actually executed.
+	thisLife := float64(st.RunsPerSec) * st.ElapsedSec
+	if thisLife > float64(opts.SampleRuns-50)+1 {
+		t.Errorf("rate %f over %fs implies %f runs this life, more than the %d it ran",
+			st.RunsPerSec, st.ElapsedSec, thisLife, opts.SampleRuns-50)
+	}
+	if rep.Stats.Counter(sched.MetricRuns) != int64(opts.SampleRuns) {
+		t.Errorf("final stats runs = %d, want %d", rep.Stats.Counter(sched.MetricRuns), opts.SampleRuns)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/sample"
 	"repro/internal/sched"
+	"repro/internal/stats"
 )
 
 // Snapshot format: a campaign checkpoint file is one JSON header object
@@ -126,12 +127,16 @@ func (h Header) ExploreOptions() sched.ExploreOptions {
 	}
 }
 
-// payload is the engine-state part of a snapshot: exactly one field is
-// set, matching the header's mode family.
+// payload is the engine-state part of a snapshot: exactly one engine
+// field is set, matching the header's mode family. Stats rides along with
+// whichever engine state is set: the observability registry's cumulative
+// totals as of the checkpoint, restored on resume so a resumed campaign
+// reports cumulative — not per-process-life — counters (docs/metrics.md).
 type payload struct {
 	Explore *sched.ExploreState `json:"explore,omitempty"`
 	Sample  *sample.BatchState  `json:"sample,omitempty"`
 	Crash   *sched.SeededState  `json:"crash,omitempty"`
+	Stats   *stats.Snapshot     `json:"stats,omitempty"`
 }
 
 // optionsHash computes the campaign identity hash of a header: the
@@ -149,8 +154,9 @@ func optionsHash(h Header) string {
 	return fmt.Sprintf("%016x", f.Sum64())
 }
 
-// writeSnapshot atomically writes header + payload to path.
-func writeSnapshot(path string, h Header, p payload) error {
+// writeSnapshot atomically writes header + payload to path, returning the
+// snapshot size in bytes (the checkpoint-size gauge).
+func writeSnapshot(path string, h Header, p payload) (int, error) {
 	h.Magic, h.Version = Magic, Version
 	h.OptionsHash = optionsHash(h)
 	h.Updated = time.Now().UTC().Format(time.RFC3339)
@@ -158,34 +164,34 @@ func writeSnapshot(path string, h Header, p payload) error {
 	var buf bytes.Buffer
 	henc := json.NewEncoder(&buf)
 	if err := henc.Encode(h); err != nil {
-		return fmt.Errorf("campaign: encode header: %w", err)
+		return 0, fmt.Errorf("campaign: encode header: %w", err)
 	}
 	penc := json.NewEncoder(&buf)
 	if err := penc.Encode(p); err != nil {
-		return fmt.Errorf("campaign: encode payload: %w", err)
+		return 0, fmt.Errorf("campaign: encode payload: %w", err)
 	}
 
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("campaign: checkpoint: %w", err)
+		return 0, fmt.Errorf("campaign: checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
-		return fmt.Errorf("campaign: checkpoint write: %w", err)
+		return 0, fmt.Errorf("campaign: checkpoint write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("campaign: checkpoint sync: %w", err)
+		return 0, fmt.Errorf("campaign: checkpoint sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("campaign: checkpoint close: %w", err)
+		return 0, fmt.Errorf("campaign: checkpoint close: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("campaign: checkpoint rename: %w", err)
+		return 0, fmt.Errorf("campaign: checkpoint rename: %w", err)
 	}
-	return nil
+	return buf.Len(), nil
 }
 
 // ReadHeader reads and validates only the snapshot header — the cheap

@@ -7,7 +7,16 @@ import (
 	"sync"
 
 	"repro/internal/sched"
+	"repro/internal/stats"
 )
+
+// MetricClasses is the sampling subsystem's observability counter (see
+// docs/metrics.md): distinct Mazurkiewicz trace classes discovered by
+// this shard. Each shard counts its own first sightings, so per-shard
+// values sum to at least — not exactly — the merged distinct-class count
+// (two shards can each discover the same class); merged reports recompute
+// the exact figure from the coverage maps.
+const MetricClasses = "gsb_classes_total"
 
 // This file is the checkpoint layer of the sampling subsystem: a sampling
 // batch advances in bounded slices over the resumable seeded-run pool
@@ -143,6 +152,10 @@ func (r *ResumableBatch) Slice(ctx context.Context, state *BatchState, sliceRuns
 	var mu sync.Mutex // guards Classes and the failure-detail fields below
 	failedRun, violation := state.FailedRun, state.Violation
 	failedMsg, failedErr := state.FailedMessage, state.failedErr
+	var classes *stats.Counter
+	if r.Opts.Stats != nil {
+		classes = r.Opts.Stats.Counter(MetricClasses, "Distinct Mazurkiewicz trace classes discovered by sampling (per-shard first sightings).")
+	}
 
 	visit := func(i int, res *sched.Result, err error) error {
 		seed := sched.DeriveRunSeed(r.Opts.Seed, i)
@@ -163,10 +176,14 @@ func (r *ResumableBatch) Slice(ctx context.Context, state *BatchState, sliceRuns
 		// index per class: the minimum is interleaving-independent.
 		h := sched.CanonicalTraceHash(res.Schedule, sched.OpIndependent)
 		mu.Lock()
-		if first, ok := state.Classes[h]; !ok || i < first {
+		first, ok := state.Classes[h]
+		if !ok || i < first {
 			state.Classes[h] = i
 		}
 		mu.Unlock()
+		if !ok && classes != nil {
+			classes.Inc()
+		}
 		if r.Check != nil {
 			if cerr := r.Check(res); cerr != nil {
 				return record(true, cerr)

@@ -1,3 +1,17 @@
+// Package sample is the statistical sampling subsystem of the engine:
+// instead of enumerating the schedule tree, it executes a fixed number of
+// independently seeded runs drawn by a sampler — a uniform random walk
+// (sched.SampleWalk) or probabilistic concurrency testing
+// (sched.SamplePCT) — and reports schedule-space coverage as the number
+// of distinct Mazurkiewicz trace classes among the verified runs.
+//
+// Both samplers ride the seeded-run pool (sched.SeededSlice): run i's
+// schedule is a pure function of sched.DeriveRunSeed(Seed, i), so every
+// report is reproducible at any worker count, any failing run is
+// replayable from its derived seed alone, and batches checkpoint, resume
+// and shard exactly (ResumableBatch). Explore is the one-shot entry
+// point; tasks.ExploreVerified dispatches here when
+// sched.ExploreOptions.SampleRuns is set.
 package sample
 
 import (

@@ -260,7 +260,10 @@ func (r *ResumableExplorer) Finalize(ctx context.Context, states ...*ExploreStat
 		return int(completed), nil
 	}
 	// The counting pass: re-walk the tree pruned against the settled
-	// lexicographic bound, exactly as Explore does after discovery.
+	// lexicographic bound, exactly as Explore does after discovery. It
+	// re-runs schedules already counted, so (as in Explore) it publishes
+	// no stats.
+	opts.Stats = nil
 	recount := newRootExplorer(ctx, r.N, r.IDs, opts, r.Build, nil, best.Choices)
 	recount.runWorkers()
 	count := int(recount.countBelow.Load()) + 1
@@ -279,8 +282,11 @@ func (r *ResumableExplorer) Finalize(ctx context.Context, states ...*ExploreStat
 // fixed number of runs (a pure function of m), then deals the resulting
 // frontier round-robin — in lexicographic order — across the shards.
 // The expansion's own results (counted schedules, any failure, memo
-// hashes) are attributed to shard 0. Shards beyond the frontier size
-// receive empty (immediately complete) states.
+// hashes) are attributed to shard 0 — and so is its stats output: every
+// shard re-runs the same deterministic expansion, so shards other than 0
+// expand with Opts.Stats stripped and the summed shard totals equal an
+// unsharded run's. Shards beyond the frontier size receive empty
+// (immediately complete) states.
 //
 // Each shard of a campaign calls SeedShards itself and keeps only its
 // partition: the expansion is deterministic, so coordination-free.

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // This file is the work-distributing exploration engine: a pool of workers
@@ -91,6 +93,15 @@ type ExploreOptions struct {
 	// MaxCrashes caps injected crashes per run; <= 0 means n-1 (the
 	// wait-free maximum).
 	MaxCrashes int
+
+	// Stats, when non-nil, receives engine observability counters (runs,
+	// schedules, steals, aborts, prunes, frontier depth — see the Metric
+	// constants and docs/metrics.md). Publishing is a handful of atomic
+	// adds per run; nil disables it entirely. Stats never influences
+	// results and is excluded from campaign option identity
+	// (internal/campaign hashes only the semantic fields), so the same
+	// checkpoint can be resumed with or without observability attached.
+	Stats *stats.Registry
 
 	// Reduction selects the partial-order reduction applied to
 	// exhaustive exploration (see the Reduction constants). With
@@ -204,8 +215,13 @@ func Explore(ctx context.Context, n int, ids []int, opts ExploreOptions, build f
 		// discovery pass drained without exhausting MaxRuns, the recount —
 		// which visits a subset of the discovery pass's prefixes — cannot
 		// exhaust it either, so the count is exact; otherwise the
-		// truncation is surfaced on the returned error.
-		recount := newRootExplorer(ctx, n, ids, opts, build, nil, f.choices)
+		// truncation is surfaced on the returned error. The recount re-runs
+		// schedules the discovery pass already counted, so it publishes no
+		// stats: the observed totals describe the verification work, not
+		// the bookkeeping replay.
+		ropts := opts
+		ropts.Stats = nil
+		recount := newRootExplorer(ctx, n, ids, ropts, build, nil, f.choices)
 		recount.runWorkers()
 		count := int(recount.countBelow.Load()) + 1
 		err := f.err
@@ -292,8 +308,9 @@ type explorer struct {
 	pause      func() bool
 	sliceLimit int64
 
-	indep Independence // commutation oracle; nil without reduction
-	memo  *traceMemo   // canonical-trace dedupe; nil unless ReductionSleepMemo
+	indep Independence   // commutation oracle; nil without reduction
+	memo  *traceMemo     // canonical-trace dedupe; nil unless ReductionSleepMemo
+	met   *engineMetrics // resolved stats handles; nil when opts.Stats is nil
 
 	mu   sync.Mutex
 	best *exploreFailure // lexicographically smallest failure seen
@@ -314,6 +331,7 @@ func newExplorer(ctx context.Context, n int, ids []int, opts ExploreOptions, bui
 	if opts.Reduction == ReductionSleepMemo {
 		e.memo = newTraceMemo()
 	}
+	e.met = newEngineMetrics(opts.Stats)
 	e.ctx, e.cancel = context.WithCancel(ctx)
 	e.shards = make([]*exploreShard, opts.Workers)
 	for i := range e.shards {
@@ -391,6 +409,7 @@ func (e *explorer) worker(w int) {
 		idle = 0
 		e.process(w, item, runner)
 		e.pending.Add(-1)
+		e.met.setFrontier(e.pending.Load())
 	}
 }
 
@@ -436,6 +455,7 @@ func (e *explorer) steal(w int, rng *rand.Rand) (frontierItem, bool) {
 				s.items = nil
 			}
 			s.mu.Unlock()
+			e.met.incSteals()
 			return it, true
 		}
 		s.mu.Unlock()
@@ -470,6 +490,7 @@ func (e *explorer) recordFailure(choices []int, err error) {
 // reused runner and pushes its unexplored sibling prefixes.
 func (e *explorer) process(w int, item frontierItem, runner *Runner) {
 	if b := e.pruneBound(); b != nil && !prefixViable(item.choices, b) {
+		e.met.incPrunes()
 		return
 	}
 	if e.claimed.Add(1) > int64(e.opts.MaxRuns) {
@@ -477,6 +498,7 @@ func (e *explorer) process(w int, item frontierItem, runner *Runner) {
 		e.cancel()
 		return
 	}
+	e.met.incRuns()
 
 	var policy explorerPolicy
 	if e.opts.Reduction != ReductionNone {
@@ -492,6 +514,7 @@ func (e *explorer) process(w int, item frontierItem, runner *Runner) {
 		// equivalent to a schedule explored under a smaller prefix. It
 		// consumed a run-budget slot but counts as no schedule; its
 		// pre-abort decision points still seed sibling branches below.
+		e.met.incAborts()
 	case err != nil:
 		if e.bound == nil {
 			e.recordFailure(policy.runChoices(), fmt.Errorf("sched: exploration run with prefix %v: %w", item.choices, err))
@@ -503,6 +526,7 @@ func (e *explorer) process(w int, item frontierItem, runner *Runner) {
 	default:
 		if e.admit(res) {
 			e.completed.Add(1)
+			e.met.incSchedules()
 		}
 		if e.check != nil {
 			// Checked even when the memo already saw the trace class, so
@@ -517,6 +541,7 @@ func (e *explorer) process(w int, item frontierItem, runner *Runner) {
 	b := e.pruneBound()
 	for _, branch := range policy.branchItems() {
 		if b != nil && !prefixViable(branch.choices, b) {
+			e.met.incPrunes()
 			continue
 		}
 		e.pushTo(w, branch)

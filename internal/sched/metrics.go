@@ -1,0 +1,103 @@
+package sched
+
+import "repro/internal/stats"
+
+// This file is the engine's side of the observability pipeline
+// (internal/stats, docs/metrics.md): one struct of pre-resolved metric
+// handles, created once per explorer or seeded pool from
+// ExploreOptions.Stats. Publishing goes through nil-tolerant methods so
+// the hot path pays one predictable branch when observability is off and
+// one atomic add when it is on — never a registry lookup, never an
+// allocation.
+
+// Engine metric names. The campaign layer (internal/campaign) registers
+// the checkpoint metrics; docs/metrics.md is the reference for all of
+// them.
+const (
+	// MetricRuns counts run-budget slots executed: verified schedules,
+	// sleep-set probe runs, and seeded sampler/crash-sweep runs.
+	MetricRuns = "gsb_runs_total"
+	// MetricSchedules counts schedules verified by exhaustive
+	// exploration — one per Mazurkiewicz trace class under reduction.
+	MetricSchedules = "gsb_schedules_total"
+	// MetricSteals counts frontier items taken from another worker's
+	// lane. Steal opportunities depend on worker interleaving, so this
+	// counter is never deterministic across runs.
+	MetricSteals = "gsb_steals_total"
+	// MetricAborts counts sleep-set probe runs aborted by partial-order
+	// reduction (ErrRunAborted): budget slots that verified no new
+	// schedule but seeded sibling branches.
+	MetricAborts = "gsb_aborts_total"
+	// MetricPrunes counts frontier prefixes dropped against the
+	// lexicographic violation bound. Pruning races discovery of the
+	// bound, so this counter is only deterministic on violation-free
+	// explorations (where it stays 0).
+	MetricPrunes = "gsb_prunes_total"
+	// MetricFrontierDepth gauges the exploration frontier: schedule
+	// prefixes queued or in flight.
+	MetricFrontierDepth = "gsb_frontier_depth"
+)
+
+// engineMetrics carries the engine's resolved metric handles. The nil
+// *engineMetrics publishes nowhere; every method tolerates it so call
+// sites need no guards.
+type engineMetrics struct {
+	runs      *stats.Counter
+	schedules *stats.Counter
+	steals    *stats.Counter
+	aborts    *stats.Counter
+	prunes    *stats.Counter
+	frontier  *stats.Gauge
+}
+
+// newEngineMetrics resolves the engine's handles in r, or returns nil
+// when r is nil (observability off).
+func newEngineMetrics(r *stats.Registry) *engineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &engineMetrics{
+		runs:      r.Counter(MetricRuns, "Engine runs executed (verified schedules, POR probe runs, seeded sampler and crash-sweep runs)."),
+		schedules: r.Counter(MetricSchedules, "Schedules verified by exhaustive exploration (one per Mazurkiewicz trace class under reduction)."),
+		steals:    r.Counter(MetricSteals, "Frontier work items stolen between exploration workers."),
+		aborts:    r.Counter(MetricAborts, "Sleep-set probe runs aborted by partial-order reduction."),
+		prunes:    r.Counter(MetricPrunes, "Frontier prefixes pruned against the lexicographic violation bound."),
+		frontier:  r.Gauge(MetricFrontierDepth, "Exploration frontier size: schedule prefixes queued or in flight."),
+	}
+}
+
+func (m *engineMetrics) incRuns() {
+	if m != nil {
+		m.runs.Inc()
+	}
+}
+
+func (m *engineMetrics) incSchedules() {
+	if m != nil {
+		m.schedules.Inc()
+	}
+}
+
+func (m *engineMetrics) incSteals() {
+	if m != nil {
+		m.steals.Inc()
+	}
+}
+
+func (m *engineMetrics) incAborts() {
+	if m != nil {
+		m.aborts.Inc()
+	}
+}
+
+func (m *engineMetrics) incPrunes() {
+	if m != nil {
+		m.prunes.Inc()
+	}
+}
+
+func (m *engineMetrics) setFrontier(depth int64) {
+	if m != nil {
+		m.frontier.Set(depth)
+	}
+}

@@ -210,6 +210,7 @@ func SeededSlice(ctx context.Context, n int, ids []int, opts ExploreOptions, tot
 	if sliceRuns > 0 && state.Next+int64(sliceRuns) < sliceEnd {
 		sliceEnd = state.Next + int64(sliceRuns)
 	}
+	met := newEngineMetrics(opts.Stats)
 
 	var (
 		next      atomic.Int64
@@ -266,6 +267,7 @@ func SeededSlice(ctx context.Context, n int, ids []int, opts ExploreOptions, tot
 				runner.Reset(policyFor(g))
 				res, err := runner.Run(build())
 				completed.Add(1)
+				met.incRuns()
 				if verr := visit(g, res, err); verr != nil {
 					record(g, verr)
 				}
