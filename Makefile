@@ -1,13 +1,23 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-compare lint staticcheck govulncheck check fmt
+.PHONY: all build test race bench bench-compare lint vet-gsb staticcheck govulncheck check fmt fuzz-smoke
+
+# Pinned external tool versions. CI installs exactly these; bump them
+# deliberately (update here AND in .github/workflows/ci.yml, run
+# `make check`, and mention the bump in the PR) rather than floating on
+# @latest, so a tool release can never break or reinterpret the tree
+# without a reviewed diff.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
 all: build lint test
 
 # check is the single local entry point mirroring CI: build, vet/gofmt,
-# static analysis (skipped with a notice when the tools are not
-# installed), vulnerability scan, tests. CI runs the same make targets.
-check: build lint staticcheck govulncheck test
+# the project's own analyzers (gsbvet, built from the tree — never
+# skipped), external static analysis (skipped with a notice when the
+# tools are not installed), vulnerability scan, tests. CI runs the same
+# make targets.
+check: build lint vet-gsb staticcheck govulncheck test
 
 build:
 	$(GO) build ./...
@@ -50,19 +60,34 @@ lint:
 		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# gsbvet: the project's own analyzer suite (internal/lint,
+# docs/static-analysis.md) — determinism, optionshash, statefield,
+# hotpath, statshandle, annotations. Builds from the tree, needs no
+# network, and is never skipped.
+vet-gsb:
+	$(GO) run ./cmd/gsbvet ./...
+
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
 govulncheck:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \
 	else \
-		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
+
+# Short native-fuzzing smoke over the campaign snapshot decoders: each
+# target runs for a few seconds (CI's static-analysis job runs the same),
+# catching parser panics early. For a real session:
+#   go test ./internal/campaign -fuzz FuzzDecodeSnapshot -fuzztime 5m
+fuzz-smoke:
+	$(GO) test ./internal/campaign -run '^$$' -fuzz FuzzParseHeader -fuzztime 10s
+	$(GO) test ./internal/campaign -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime 10s
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGsbvetExitCodes builds the driver from the tree and checks the exit
+// contract end to end: 0 and silence on the clean tree, 1 and a finding
+// on the deliberately broken testdata fixture (which ./... does not see,
+// keeping the clean run honest), 2 on a pattern that does not load.
+func TestGsbvetExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the driver as a subprocess")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "gsbvet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/gsbvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gsbvet: %v\n%s", err, out)
+	}
+
+	run := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running gsbvet %v: %v\n%s", args, err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	if out, code := run("./..."); code != 0 {
+		t.Errorf("gsbvet ./... on the tree: exit %d, want 0\n%s", code, out)
+	} else if strings.TrimSpace(out) != "" {
+		t.Errorf("gsbvet ./... on the clean tree printed output:\n%s", out)
+	}
+
+	out, code := run("./internal/lint/testdata/src/badhotpath")
+	if code != 1 {
+		t.Errorf("gsbvet on badhotpath: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "make in hotpath func leaky") || !strings.Contains(out, "(hotpath)") {
+		t.Errorf("gsbvet on badhotpath did not report the planted finding:\n%s", out)
+	}
+
+	if out, code := run("./does/not/exist"); code != 2 {
+		t.Errorf("gsbvet on a bad pattern: exit %d, want 2\n%s", code, out)
+	}
+
+	if out, code := run("-list"); code != 0 || !strings.Contains(out, "determinism") {
+		t.Errorf("gsbvet -list: exit %d\n%s", code, out)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

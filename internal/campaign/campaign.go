@@ -181,6 +181,8 @@ func (c *Config) header() Header {
 // is final and identical to the uninterrupted mode's report; for one
 // shard of many it is provisional (raw shard counts) until Merge combines
 // the shard set.
+//
+//gsb:serialized
 type Report struct {
 	Mode     Mode   `json:"mode"`
 	Protocol string `json:"protocol"`
@@ -380,12 +382,12 @@ func run(ctx context.Context, cfg *Config, p payload) (Report, error) {
 			rep.Stats = &snap
 			h.Result = &rep
 		}
-		wstart := time.Now()
+		wstart := time.Now() //gsb:nondeterminism-ok feeds the checkpoint-latency histogram only, never a verdict or count
 		nbytes, werr := writeSnapshot(cfg.Path, h, p)
 		if werr != nil {
 			return Report{}, werr
 		}
-		ckptSeconds.Observe(time.Since(wstart).Seconds())
+		ckptSeconds.Observe(time.Since(wstart).Seconds()) //gsb:nondeterminism-ok observability histogram; not part of campaign state
 		ckptWrites.Inc()
 		ckptBytes.Set(int64(nbytes))
 		checkpoints++

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/sample"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Fuzz targets for the snapshot wire format. Snapshots are the one input
+// the campaign layer reads back from disk — written by possibly-killed
+// earlier processes, copied between machines for merges, and occasionally
+// hand-inspected — so the decoders must reject arbitrary corruption with
+// an error, never a panic. decodeHeader and decodeSnapshot are pure
+// functions of the file bytes precisely so these targets can drive them
+// without any file I/O. CI runs each for a short -fuzztime as a smoke
+// gate; longer local runs just work:
+//
+//	go test ./internal/campaign -fuzz FuzzDecodeSnapshot -fuzztime 60s
+
+// seedSnapshots returns well-formed snapshot files (one per mode family)
+// plus targeted mutants, produced by the real writer so the corpus tracks
+// the format.
+func seedSnapshots(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+
+	write := func(h Header, p payload) {
+		f.Helper()
+		path := f.TempDir() + "/seed.gsb"
+		if _, err := writeSnapshot(path, h, p); err != nil {
+			f.Fatalf("writing seed snapshot: %v", err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, data)
+	}
+
+	reg := stats.New()
+	reg.Counter("runs", "").Add(7)
+	snap := reg.Snapshot()
+
+	write(Header{
+		Mode: ModeExhaustive, Protocol: "reg", Task: "wait-free", N: 3,
+		IDs: []int{1, 2, 3}, Of: 1, Runs: 42,
+		Options: optionsHeader(sched.ExploreOptions{Seed: 1, MaxSteps: 100}),
+	}, payload{Explore: sched.RootExploreState(), Stats: &snap})
+
+	write(Header{
+		Mode: ModePCT, Protocol: "reg", Task: "wait-free", N: 2,
+		IDs: []int{1, 2}, Of: 2, Shard: 1,
+		Options: optionsHeader(sched.ExploreOptions{Seed: 9, SampleRuns: 10, Depth: 3}),
+	}, payload{Sample: &sample.BatchState{
+		Depth: 3, Horizon: 12,
+		Pool:    sched.SeededState{Shard: 1, Of: 2, Next: 5, Completed: 5},
+		Classes: map[uint64]int{0xdeadbeef: 2},
+	}})
+
+	write(Header{
+		Mode: ModeCrash, Protocol: "reg", Task: "wait-free", N: 2,
+		IDs: []int{1, 2}, Of: 1,
+		Options: optionsHeader(sched.ExploreOptions{Seed: 5, CrashRuns: 10, CrashProb: 0.1}),
+	}, payload{Crash: &sched.SeededState{Next: 4, Completed: 4}})
+
+	// Targeted mutants: truncated, missing newline, header-only, junk.
+	whole := seeds[0]
+	seeds = append(seeds,
+		whole[:len(whole)/2],
+		bytes.ReplaceAll(whole, []byte("\n"), []byte(" ")),
+		whole[:bytes.IndexByte(whole, '\n')+1],
+		[]byte("{}\n{}\n"),
+		[]byte("gsb-campaign but not json\n"),
+	)
+	return seeds
+}
+
+func FuzzParseHeader(f *testing.F) {
+	for _, seed := range seedSnapshots(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, rest, err := decodeHeader(data)
+		if err != nil {
+			return
+		}
+		// A header the decoder accepts must uphold its invariants: the
+		// declared magic/version, a self-consistent hash, a legal shard,
+		// and a remainder that is a tail of the input.
+		if h.Magic != Magic || h.Version != Version {
+			t.Fatalf("accepted header with magic %q version %d", h.Magic, h.Version)
+		}
+		if h.OptionsHash != optionsHash(h) {
+			t.Fatalf("accepted header whose hash does not cover its contents")
+		}
+		if h.Of < 1 || h.Shard < 0 || h.Shard >= h.Of {
+			t.Fatalf("accepted invalid shard %d of %d", h.Shard, h.Of)
+		}
+		if len(rest) > len(data) {
+			t.Fatalf("remainder longer than input")
+		}
+		// Accepted headers must re-encode: status endpoints marshal them.
+		if _, err := json.Marshal(h); err != nil {
+			t.Fatalf("accepted header does not re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	for _, seed := range seedSnapshots(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, p, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// An accepted snapshot carries exactly one engine state and its
+		// family agrees with the header's mode.
+		if got, want := p.payloadFamily(), h.Mode.family(); got != want || got == "none" {
+			t.Fatalf("accepted payload family %q under mode %s", got, h.Mode)
+		}
+		// And it must survive a rewrite cycle: what a resume re-writes,
+		// a later resume must accept (strings.Builder keeps this cheap).
+		var b strings.Builder
+		henc := json.NewEncoder(&b)
+		if err := henc.Encode(h); err != nil {
+			t.Fatalf("accepted snapshot header does not re-encode: %v", err)
+		}
+		penc := json.NewEncoder(&b)
+		if err := penc.Encode(p); err != nil {
+			t.Fatalf("accepted snapshot payload does not re-encode: %v", err)
+		}
+		if _, _, err := decodeSnapshot([]byte(b.String())); err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+	})
+}

@@ -98,7 +98,7 @@ func (o *Observer) attach(h Header, total int64) {
 	defer o.mu.Unlock()
 	o.h = h
 	o.total = total
-	o.start = time.Now()
+	o.start = time.Now() //gsb:nondeterminism-ok progress-rate baseline; Observer never touches results
 	o.base = snap.Counter(sched.MetricRuns)
 	o.lastCkpt = time.Time{}
 	o.checkpoints = snap.Counter(MetricCheckpointWrites)
@@ -110,7 +110,7 @@ func (o *Observer) checkpoint(h Header) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.h = h
-	o.lastCkpt = time.Now()
+	o.lastCkpt = time.Now() //gsb:nondeterminism-ok checkpoint-age display only
 	o.checkpoints++
 }
 
@@ -119,13 +119,13 @@ func (o *Observer) checkpoint(h Header) {
 func (o *Observer) Progress() StatusRecord {
 	rec := o.status()
 	rec.Schema = ProgressSchema
-	rec.Time = time.Now().UTC().Format(time.RFC3339)
+	rec.Time = time.Now().UTC().Format(time.RFC3339) //gsb:nondeterminism-ok NDJSON progress timestamp
 	return rec
 }
 
 func (o *Observer) status() StatusRecord {
 	snap := o.reg.Snapshot()
-	now := time.Now()
+	now := time.Now() //gsb:nondeterminism-ok rate/ETA arithmetic for status display
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	rec := StatusRecord{

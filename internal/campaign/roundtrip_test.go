@@ -1,0 +1,24 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestCheckpointStateRoundTrips: see the statefield analyzer
+// (internal/lint) — every exported field of the //gsb:serialized structs,
+// including the unexported payload struct's, must survive an
+// encode/decode cycle.
+func TestCheckpointStateRoundTrips(t *testing.T) {
+	for _, v := range []any{
+		&Header{},
+		&OptionsHeader{},
+		&Report{},
+		&payload{},
+	} {
+		if err := lint.RoundTripJSON(v); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -47,6 +47,8 @@ const (
 var ErrOptionsMismatch = errors.New("campaign: options do not match the snapshot")
 
 // Header is the first line of a snapshot file.
+//
+//gsb:serialized
 type Header struct {
 	Magic   string `json:"magic"`
 	Version int    `json:"version"`
@@ -80,7 +82,12 @@ type Header struct {
 }
 
 // OptionsHeader is the serializable, campaign-defining subset of
-// sched.ExploreOptions.
+// sched.ExploreOptions. gsbvet's optionshash analyzer enforces the
+// "subset" claim from both sides: every ExploreOptions field must be
+// captured here or listed in OptionsHashExcluded, and every field here
+// must be read by optionsHash.
+//
+//gsb:serialized
 type OptionsHeader struct {
 	Seed       int64   `json:"seed"`
 	MaxRuns    int     `json:"max_runs,omitempty"`
@@ -92,6 +99,16 @@ type OptionsHeader struct {
 	CrashRuns  int     `json:"crash_runs,omitempty"`
 	CrashProb  float64 `json:"crash_prob,omitempty"`
 	MaxCrashes int     `json:"max_crashes,omitempty"`
+}
+
+// OptionsHashExcluded names the sched.ExploreOptions fields that are
+// deliberately NOT part of campaign identity, with the reason. gsbvet's
+// optionshash analyzer fails the build when an ExploreOptions field is
+// neither captured by optionsHeader nor listed here — adding an option
+// forces the hash-or-exclude decision to be made explicitly.
+var OptionsHashExcluded = map[string]string{
+	"Workers": "execution-resource knob: worker count must not change what a campaign verifies (the determinism contract), so resumes may legally change it",
+	"Stats":   "observability sink: where metrics go never affects what is computed",
 }
 
 func optionsHeader(o sched.ExploreOptions) OptionsHeader {
@@ -132,6 +149,8 @@ func (h Header) ExploreOptions() sched.ExploreOptions {
 // whichever engine state is set: the observability registry's cumulative
 // totals as of the checkpoint, restored on resume so a resumed campaign
 // reports cumulative — not per-process-life — counters (docs/metrics.md).
+//
+//gsb:serialized
 type payload struct {
 	Explore *sched.ExploreState `json:"explore,omitempty"`
 	Sample  *sample.BatchState  `json:"sample,omitempty"`
@@ -159,7 +178,7 @@ func optionsHash(h Header) string {
 func writeSnapshot(path string, h Header, p payload) (int, error) {
 	h.Magic, h.Version = Magic, Version
 	h.OptionsHash = optionsHash(h)
-	h.Updated = time.Now().UTC().Format(time.RFC3339)
+	h.Updated = time.Now().UTC().Format(time.RFC3339) //gsb:nondeterminism-ok Updated is a freshness timestamp, excluded from optionsHash
 
 	var buf bytes.Buffer
 	henc := json.NewEncoder(&buf)
@@ -194,8 +213,67 @@ func writeSnapshot(path string, h Header, p payload) (int, error) {
 	return buf.Len(), nil
 }
 
+// decodeHeader parses and validates a snapshot's header line from the
+// leading bytes of its content, returning the header and the bytes after
+// the line (the payload). It is pure — no file I/O — so FuzzParseHeader
+// can drive it with arbitrary inputs; the file-reading wrappers add path
+// context to its errors.
+func decodeHeader(data []byte) (Header, []byte, error) {
+	var h Header
+	i := bytes.IndexByte(data, '\n')
+	if i < 0 {
+		return h, nil, errors.New("snapshot has no header line")
+	}
+	line, rest := data[:i+1], data[i+1:]
+	if err := json.Unmarshal(line, &h); err != nil {
+		return h, nil, fmt.Errorf("snapshot header is not JSON: %w", err)
+	}
+	if h.Magic != Magic {
+		return h, nil, fmt.Errorf("not a campaign snapshot (magic %q)", h.Magic)
+	}
+	if h.Version != Version {
+		return h, nil, fmt.Errorf("snapshot format version %d, this build reads version %d", h.Version, Version)
+	}
+	if want := optionsHash(h); h.OptionsHash != want {
+		return h, nil, fmt.Errorf("header hash %s does not match its contents (%s): snapshot corrupted or hand-edited", h.OptionsHash, want)
+	}
+	if h.Of < 1 || h.Shard < 0 || h.Shard >= h.Of {
+		return h, nil, fmt.Errorf("shard %d of %d is not a valid shard", h.Shard, h.Of)
+	}
+	return h, rest, nil
+}
+
+// decodeSnapshot parses and validates a whole snapshot (header line plus
+// payload). Pure for the same reason as decodeHeader: FuzzDecodeSnapshot
+// drives it directly.
+func decodeSnapshot(data []byte) (Header, payload, error) {
+	var p payload
+	h, rest, err := decodeHeader(data)
+	if err != nil {
+		return h, p, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(rest))
+	if err := dec.Decode(&p); err != nil {
+		return h, p, fmt.Errorf("snapshot payload: %w", err)
+	}
+	set := 0
+	for _, ok := range []bool{p.Explore != nil, p.Sample != nil, p.Crash != nil} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return h, p, fmt.Errorf("snapshot payload must carry exactly one engine state (has %d)", set)
+	}
+	if got, want := p.payloadFamily(), h.Mode.family(); got != want {
+		return h, p, fmt.Errorf("payload family %q does not match mode %s", got, h.Mode)
+	}
+	return h, p, nil
+}
+
 // ReadHeader reads and validates only the snapshot header — the cheap
-// read used by status and by merge's pre-flight checks.
+// read used by status and by merge's pre-flight checks. Only the first
+// line of the file is read, so the cost is independent of payload size.
 func ReadHeader(path string) (Header, error) {
 	var h Header
 	f, err := os.Open(path)
@@ -208,55 +286,22 @@ func ReadHeader(path string) (Header, error) {
 	if err != nil {
 		return h, fmt.Errorf("campaign: %s: reading snapshot header: %w", path, err)
 	}
-	if err := json.Unmarshal(line, &h); err != nil {
-		return h, fmt.Errorf("campaign: %s: snapshot header is not JSON: %w", path, err)
-	}
-	if h.Magic != Magic {
-		return h, fmt.Errorf("campaign: %s is not a campaign snapshot (magic %q)", path, h.Magic)
-	}
-	if h.Version != Version {
-		return h, fmt.Errorf("campaign: %s: snapshot format version %d, this build reads version %d", path, h.Version, Version)
-	}
-	if want := optionsHash(h); h.OptionsHash != want {
-		return h, fmt.Errorf("campaign: %s: header hash %s does not match its contents (%s): snapshot corrupted or hand-edited", path, h.OptionsHash, want)
-	}
-	if h.Of < 1 || h.Shard < 0 || h.Shard >= h.Of {
-		return h, fmt.Errorf("campaign: %s: shard %d of %d is not a valid shard", path, h.Shard, h.Of)
+	h, _, err = decodeHeader(line)
+	if err != nil {
+		return h, fmt.Errorf("campaign: %s: %w", path, err)
 	}
 	return h, nil
 }
 
 // readSnapshot reads and validates a full snapshot.
 func readSnapshot(path string) (Header, payload, error) {
-	var p payload
-	h, err := ReadHeader(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return h, p, err
+		return Header{}, payload{}, fmt.Errorf("campaign: %w", err)
 	}
-	f, err := os.Open(path)
+	h, p, err := decodeSnapshot(data)
 	if err != nil {
-		return h, p, fmt.Errorf("campaign: %w", err)
-	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	if _, err := r.ReadBytes('\n'); err != nil { // skip the header line
 		return h, p, fmt.Errorf("campaign: %s: %w", path, err)
-	}
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&p); err != nil {
-		return h, p, fmt.Errorf("campaign: %s: snapshot payload: %w", path, err)
-	}
-	set := 0
-	for _, ok := range []bool{p.Explore != nil, p.Sample != nil, p.Crash != nil} {
-		if ok {
-			set++
-		}
-	}
-	if set != 1 {
-		return h, p, fmt.Errorf("campaign: %s: snapshot payload must carry exactly one engine state (has %d)", path, set)
-	}
-	if got, want := p.payloadFamily(), h.Mode.family(); got != want {
-		return h, p, fmt.Errorf("campaign: %s: payload family %q does not match mode %s", path, got, h.Mode)
 	}
 	return h, p, nil
 }

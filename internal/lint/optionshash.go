@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The optionshash analyzer guards campaign option identity: a campaign
+// snapshot's OptionsHash is what stops a resume (or merge) from silently
+// verifying something other than what the snapshot started
+// (internal/campaign/snapshot.go). Every field of sched.ExploreOptions
+// must therefore be accounted for — either captured into the snapshot
+// header by optionsHeader (and from there into the hash by optionsHash),
+// or deliberately excluded in the OptionsHashExcluded list with a reason
+// (execution details like Workers, observability sinks like Stats).
+// ROADMAP items (DPOR knobs, model/adversary registries, fuzzing energy
+// parameters) will all add ExploreOptions fields; each one is a silent
+// resume-correctness landmine until it is hashed or consciously excluded,
+// which is exactly the decision this analyzer forces.
+//
+// Mechanically, in any package that defines func optionsHeader (in this
+// tree: internal/campaign):
+//
+//  1. every field of optionsHeader's parameter struct (ExploreOptions)
+//     must be read in optionsHeader's body or be a key of the
+//     package-level map OptionsHashExcluded;
+//  2. exclusions must be live: an OptionsHashExcluded key that names no
+//     current field, or a field that is both captured and excluded, is an
+//     error;
+//  3. every field of optionsHeader's result struct (OptionsHeader) must
+//     be read in optionsHash's body, so a field cannot reach the header
+//     but miss the hash.
+//
+// There is no suppression verb: the exclusion list is the mechanism, and
+// it demands a reason string per field.
+var OptionsHashAnalyzer = &Analyzer{
+	Name: "optionshash",
+	Doc:  "every ExploreOptions field must be campaign-hashed or explicitly excluded with a reason",
+	Run:  runOptionsHash,
+}
+
+func runOptionsHash(pass *Pass) error {
+	header := findFuncDecl(pass, "optionsHeader")
+	if header == nil {
+		return nil // not the campaign-identity package
+	}
+	optType := singleParamStruct(pass, header)
+	if optType == nil {
+		pass.Reportf(header.Pos(), "optionsHeader must take the options struct as its single parameter")
+		return nil
+	}
+
+	captured := structFieldReads(pass, header.Body, optType)
+	excluded, exclPos := optionsHashExclusions(pass)
+
+	for i := 0; i < optType.NumFields(); i++ {
+		f := optType.Field(i)
+		_, isCaptured := captured[f.Name()]
+		_, isExcluded := excluded[f.Name()]
+		switch {
+		case isCaptured && isExcluded:
+			pass.Reportf(exclPos[f.Name()], "options field %s is captured by optionsHeader but also listed in OptionsHashExcluded: remove the stale exclusion", f.Name())
+		case !isCaptured && !isExcluded:
+			pass.Reportf(header.Pos(), "options field %s is not captured by optionsHeader and not excluded in OptionsHashExcluded: a resume could silently verify different semantics — hash it, or exclude it with a reason", f.Name())
+		}
+	}
+	for _, name := range sortedStringKeys(excluded) {
+		if fieldByName(optType, name) == nil {
+			pass.Reportf(exclPos[name], "OptionsHashExcluded lists %q, which is not a field of the options struct: remove the stale entry", name)
+		}
+	}
+
+	// Leg 3: header fields must all reach the hash.
+	hash := findFuncDecl(pass, "optionsHash")
+	if hash == nil {
+		pass.Reportf(header.Pos(), "package defines optionsHeader but no optionsHash: the options header is not part of campaign identity")
+		return nil
+	}
+	headerType := resultStruct(pass, header)
+	if headerType == nil {
+		return nil
+	}
+	hashed := structFieldReads(pass, hash.Body, headerType)
+	for i := 0; i < headerType.NumFields(); i++ {
+		f := headerType.Field(i)
+		if _, ok := hashed[f.Name()]; !ok {
+			pass.Reportf(hash.Pos(), "options-header field %s is serialized into snapshots but never read by optionsHash: two campaigns differing only in it would collide", f.Name())
+		}
+	}
+	return nil
+}
+
+func findFuncDecl(pass *Pass, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == name {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// singleParamStruct returns the struct type of fn's single parameter.
+func singleParamStruct(pass *Pass, fn *ast.FuncDecl) *types.Struct {
+	if fn.Type.Params == nil || len(fn.Type.Params.List) != 1 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[fn.Type.Params.List[0].Type]
+	if !ok {
+		return nil
+	}
+	st, _ := tv.Type.Underlying().(*types.Struct)
+	return st
+}
+
+// resultStruct returns the struct type of fn's first result.
+func resultStruct(pass *Pass, fn *ast.FuncDecl) *types.Struct {
+	if fn.Type.Results == nil || len(fn.Type.Results.List) == 0 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[fn.Type.Results.List[0].Type]
+	if !ok {
+		return nil
+	}
+	st, _ := tv.Type.Underlying().(*types.Struct)
+	return st
+}
+
+// structFieldReads collects the names of st's fields selected anywhere in
+// body (o.Seed, h.Options.Seed, ...).
+func structFieldReads(pass *Pass, body *ast.BlockStmt, st *types.Struct) map[string]bool {
+	fields := map[types.Object]string{}
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = st.Field(i).Name()
+	}
+	reads := map[string]bool{}
+	if body == nil {
+		return reads
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if name, ok := fields[s.Obj()]; ok {
+			reads[name] = true
+		}
+		return true
+	})
+	return reads
+}
+
+func fieldByName(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+// optionsHashExclusions reads the package-level OptionsHashExcluded map
+// literal: field name -> reason. Each entry's value must be a non-empty
+// reason string literal.
+func optionsHashExclusions(pass *Pass) (map[string]string, map[string]token.Pos) {
+	excluded := map[string]string{}
+	positions := map[string]token.Pos{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok || gen.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "OptionsHashExcluded" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						pass.Reportf(vs.Values[i].Pos(), "OptionsHashExcluded must be a map composite literal so gsbvet can read its keys")
+						continue
+					}
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, okK := stringLit(pass, kv.Key)
+						reason, okV := stringLit(pass, kv.Value)
+						if !okK {
+							pass.Reportf(kv.Pos(), "OptionsHashExcluded keys must be string literals naming options fields")
+							continue
+						}
+						if !okV || reason == "" {
+							pass.Reportf(kv.Pos(), "OptionsHashExcluded entry %q needs a non-empty reason string", key)
+						}
+						excluded[key] = reason
+						positions[key] = kv.Pos()
+					}
+				}
+			}
+		}
+	}
+	return excluded, positions
+}
+
+// stringLit evaluates e as a constant string.
+func stringLit(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func sortedStringKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

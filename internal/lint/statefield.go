@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"strings"
+)
+
+// The statefield analyzer guards the checkpoint wire format: the structs
+// serialized into campaign snapshots (docs/checkpoint-format.md) are the
+// contract between a dying process and the one that resumes it, and
+// between shards on different machines and the merge. A field added
+// without a JSON tag serializes under its Go name — which then silently
+// changes on a rename; a field tagged "-" silently vanishes from
+// checkpoints and corrupts every resumed campaign that needed it. Both
+// become vet errors here, long before a differential test has to catch a
+// corrupted campaign.
+//
+// The serialized structs are marked //gsb:serialized at their type
+// declaration. The marking itself is enforced: stateFieldRequired lists
+// the known snapshot state structs per package, and a listed struct that
+// is missing or unmarked is an error — so the marker set cannot rot as
+// the format evolves. For every marked struct:
+//
+//   - each exported field must carry an explicit json name tag (not "-"),
+//     or be waived with //gsb:notserialized <reason> on its line;
+//   - json names must be unique within the struct;
+//   - unexported fields are ignored (encoding/json cannot see them; the
+//     convention for live-process-only state, e.g. FailureState.err).
+//
+// The complement — that every tagged field actually survives an
+// encode/decode cycle — is enforced dynamically by the reflection
+// round-trip tests built on lint.RoundTripJSON, which populate every
+// exported field and fail on any that does not round-trip.
+var StateFieldAnalyzer = &Analyzer{
+	Name:       "statefield",
+	Doc:        "serialized checkpoint structs must tag every exported field with an explicit, unique json name",
+	Suppressor: "notserialized",
+	Run:        runStateField,
+}
+
+// stateFieldRequired names the structs that are part of the checkpoint
+// wire format, per import-path suffix. Adding a struct to a snapshot
+// payload means adding it here (and marking it //gsb:serialized);
+// removing or renaming one without updating this list is a vet error by
+// design — checkpoint-format drift must be explicit.
+var stateFieldRequired = map[string][]string{
+	"internal/sched": {
+		"ExploreState", "FrontierState", "FailureState",
+		"SeededState", "SeededFailure",
+	},
+	"internal/sample":   {"BatchState"},
+	"internal/stats":    {"Snapshot", "HistogramSnapshot"},
+	"internal/campaign": {"Header", "OptionsHeader", "Report", "payload"},
+}
+
+// SerializedMarker marks a checkpoint-serialized struct declaration.
+const SerializedMarker = "serialized"
+
+func runStateField(pass *Pass) error {
+	required := map[string]bool{}
+	for suffix, names := range stateFieldRequired {
+		if pass.Path == suffix || strings.HasSuffix(pass.Path, "/"+suffix) {
+			for _, n := range names {
+				required[n] = true
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gen, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gen.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				marked := pass.TypeMarked(gen, ts, SerializedMarker)
+				if required[ts.Name.Name] {
+					delete(required, ts.Name.Name)
+					if !marked {
+						pass.Reportf(ts.Pos(), "%s is checkpoint state (see stateFieldRequired) but is not marked //gsb:serialized", ts.Name.Name)
+						continue
+					}
+				}
+				if marked {
+					checkSerializedStruct(pass, ts.Name.Name, st)
+				}
+			}
+		}
+	}
+	for _, name := range sortedBoolKeys(required) {
+		pass.Reportf(pass.Files[0].Name.Pos(), "checkpoint state struct %s is required in this package but not declared: renamed or moved? update stateFieldRequired in internal/lint/statefield.go", name)
+	}
+	return nil
+}
+
+func checkSerializedStruct(pass *Pass, structName string, st *ast.StructType) {
+	seen := map[string]string{}
+	for _, field := range st.Fields.List {
+		names := field.Names
+		if len(names) == 0 {
+			pass.Reportf(field.Pos(), "%s embeds a field: embedded fields flatten into the wire format implicitly — name it and tag it", structName)
+			continue
+		}
+		for _, name := range names {
+			if !name.IsExported() {
+				continue
+			}
+			jsonName, ok := jsonTagName(field)
+			switch {
+			case !ok:
+				pass.Reportf(name.Pos(), "%s.%s has no json tag: it would serialize under its Go name and silently change on a rename", structName, name.Name)
+				continue
+			case jsonName == "-":
+				pass.Reportf(name.Pos(), "%s.%s is tagged json:\"-\": it silently vanishes from checkpoints — resumed campaigns lose it", structName, name.Name)
+				continue
+			case jsonName == "":
+				pass.Reportf(name.Pos(), "%s.%s json tag sets options but no name: name it explicitly", structName, name.Name)
+				continue
+			}
+			if prev, dup := seen[jsonName]; dup {
+				pass.Reportf(name.Pos(), "%s.%s reuses json name %q already taken by %s: the later field silently wins on decode", structName, name.Name, jsonName, prev)
+			}
+			seen[jsonName] = name.Name
+		}
+	}
+}
+
+// jsonTagName extracts the json tag's name part; ok is false when the
+// field has no json tag at all.
+func jsonTagName(field *ast.Field) (string, bool) {
+	if field.Tag == nil {
+		return "", false
+	}
+	// field.Tag.Value includes the surrounding backquotes.
+	raw := strings.Trim(field.Tag.Value, "`")
+	tag, ok := reflect.StructTag(raw).Lookup("json")
+	if !ok {
+		return "", false
+	}
+	name, _, _ := strings.Cut(tag, ",")
+	return name, true
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Sorted so diagnostics are deterministic.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,10 @@
+// Package badhotpath is a deliberately failing fixture for the gsbvet
+// exit-code test: TestGsbvetExitCodes runs the driver against this
+// directory (testdata is invisible to ./... wildcards, so the tree stays
+// clean) and asserts a non-zero exit and a hotpath finding.
+package badhotpath
+
+//gsb:hotpath
+func leaky(n int) []int {
+	return make([]int, n)
+}

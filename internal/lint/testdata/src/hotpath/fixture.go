@@ -1,0 +1,53 @@
+// Package fixture is a hotpath-analyzer golden fixture.
+package fixture
+
+type step struct {
+	proc int
+	op   string
+}
+
+type runner struct {
+	schedule []step
+	scratch  []int
+}
+
+//gsb:hotpath
+func (r *runner) hot(n int) any {
+	r.scratch = append(r.scratch, n) // want `append in hotpath func hot`
+	buf := make([]int, n)            // want `make in hotpath func hot`
+	p := new(step)                   // want `new in hotpath func hot`
+	_ = &step{proc: n}               // want `&T\{\} literal in hotpath func hot escapes`
+	_ = []int{1, 2, 3}               // want `slice literal in hotpath func hot allocates`
+	_ = map[string]int{"a": 1}       // want `map literal in hotpath func hot allocates`
+	f := func() int { return n }     // want `function literal in hotpath func hot`
+	s := step{proc: n, op: "w"}      // plain struct value: stays on the stack, not flagged
+	var boxed any = interfaceOf(n)
+	_ = buf
+	_ = p
+	_ = f
+	_ = s
+	return boxed
+}
+
+type boxer interface{ box() }
+
+type impl struct{ n int }
+
+func (impl) box() {}
+
+//gsb:hotpath
+func convert(v impl, b boxer) boxer {
+	_ = boxer(v)    // want `conversion to interface type boxer in hotpath func convert boxes`
+	return boxer(b) // interface-to-interface: no box, not flagged
+}
+
+//gsb:hotpath
+func waived(r *runner, n int) {
+	r.scratch = append(r.scratch, n) //gsb:alloc-ok golden fixture: reused scratch, pre-grown at construction
+}
+
+func cold(n int) []int {
+	return make([]int, n) // unmarked function: not flagged
+}
+
+func interfaceOf(n int) any { return n }

@@ -1,0 +1,44 @@
+// Package fixture is an optionshash-analyzer golden fixture: a miniature
+// of internal/campaign's option-identity plumbing with one field of every
+// failure class.
+package fixture
+
+import "fmt"
+
+type ExploreOptions struct {
+	Seed     int64
+	MaxRuns  int
+	Workers  int // excluded with a reason: fine
+	Stats    int // captured AND excluded: stale exclusion
+	Orphan   int // neither captured nor excluded
+	Quiet    int // excluded with an empty reason
+	MaxSteps int // captured: fine
+}
+
+type OptionsHeader struct {
+	Seed     int64
+	MaxRuns  int
+	MaxSteps int
+	Stats    int
+	Dangling int // serialized but never hashed
+}
+
+var OptionsHashExcluded = map[string]string{
+	"Workers": "execution-resource knob",
+	"Stats":   "stale: the field is captured below", // want `options field Stats is captured by optionsHeader but also listed`
+	"Gone":    "names no current field",             // want `OptionsHashExcluded lists "Gone", which is not a field`
+	"Quiet":   "",                                   // want `OptionsHashExcluded entry "Quiet" needs a non-empty reason`
+}
+
+func optionsHeader(o ExploreOptions) OptionsHeader { // want `options field Orphan is not captured`
+	return OptionsHeader{
+		Seed:     o.Seed,
+		MaxRuns:  o.MaxRuns,
+		MaxSteps: o.MaxSteps,
+		Stats:    o.Stats,
+	}
+}
+
+func optionsHash(h OptionsHeader) string { // want `options-header field Dangling is serialized into snapshots but never read`
+	return fmt.Sprintf("%d|%d|%d|%d", h.Seed, h.MaxRuns, h.MaxSteps, h.Stats)
+}

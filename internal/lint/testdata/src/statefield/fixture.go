@@ -1,0 +1,32 @@
+// Package fixture is a statefield-analyzer golden fixture; the golden
+// test loads it as "repro/internal/sample", where stateFieldRequired
+// demands a //gsb:serialized BatchState.
+package fixture // want `checkpoint state struct BatchState is required in this package but not declared`
+
+// Missing the //gsb:serialized marker while being required would be its
+// own diagnostic; here BatchState is absent entirely (renamed to
+// BatchStat), exercising the required-but-not-declared arm.
+
+//gsb:serialized
+type BatchStat struct {
+	Next      int64 `json:"next"`
+	Untagged  int64 // want `BatchStat\.Untagged has no json tag`
+	Dropped   int64 `json:"-"`          // want `BatchStat\.Dropped is tagged json:"-"`
+	Anonymous int64 `json:",omitempty"` // want `BatchStat\.Anonymous json tag sets options but no name`
+	Dup       int64 `json:"next"`       // want `BatchStat\.Dup reuses json name "next" already taken by Next`
+	Waived    int64 //gsb:notserialized golden fixture: live-process scratch
+	internal  int64 // unexported: ignored
+}
+
+//gsb:serialized
+type Embedding struct {
+	BatchStat `json:"inner"` // want `Embedding embeds a field`
+}
+
+type unmarked struct {
+	NoTag int64 // unmarked struct: statefield does not apply
+}
+
+var _ = unmarked{}
+var _ = Embedding{}
+var _ int64 = BatchStat{}.internal

@@ -1,0 +1,48 @@
+// Package fixture is a statshandle-analyzer golden fixture: a miniature
+// Registry with the real lookup-method names.
+package fixture
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Gauge struct{ v int64 }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name, help string) *Gauge     { return &Gauge{} }
+
+type notRegistry struct{}
+
+func (notRegistry) Counter(name string) *Counter { return &Counter{} }
+
+func lookupInLoops(r *Registry, names []string, m map[string]int) {
+	for i := 0; i < 3; i++ {
+		r.Counter("runs", "").Inc() // want `stats registry lookup Registry\.Counter inside a loop`
+	}
+	for _, name := range names {
+		_ = r.Gauge(name, "") // want `stats registry lookup Registry\.Gauge inside a loop`
+	}
+	for range m {
+		r.Counter("x", "").Inc() //gsb:statslookup-ok golden fixture: cold path over a dynamic metric set
+	}
+}
+
+func lookupOnce(r *Registry) {
+	c := r.Counter("runs", "") // outside any loop, not hot: fine
+	for i := 0; i < 3; i++ {
+		c.Inc() // handle use, not a lookup
+	}
+}
+
+//gsb:hotpath
+func hotLookup(r *Registry) {
+	r.Counter("runs", "").Inc() // want `stats registry lookup Registry\.Counter in hotpath func hotLookup`
+}
+
+func otherReceiver(n notRegistry) {
+	for i := 0; i < 3; i++ {
+		_ = n.Counter("x") // receiver is not a Registry: fine
+	}
+}

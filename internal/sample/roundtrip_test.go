@@ -1,0 +1,16 @@
+package sample
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestCheckpointStateRoundTrips: see the statefield analyzer
+// (internal/lint) — every exported field of the //gsb:serialized structs
+// must survive an encode/decode cycle.
+func TestCheckpointStateRoundTrips(t *testing.T) {
+	if err := lint.RoundTripJSON(&BatchState{}); err != nil {
+		t.Error(err)
+	}
+}

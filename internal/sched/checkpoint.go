@@ -33,6 +33,8 @@ import (
 // exhaustive/partial-order-reduced exploration engine: everything needed
 // to continue (or merge) an exploration is in this value. The zero value
 // is not meaningful; use RootExploreState for a fresh exploration.
+//
+//gsb:serialized
 type ExploreState struct {
 	// Frontier is the unexplored work: one entry per schedule prefix
 	// whose subtree has not been walked, sorted lexicographically (the
@@ -55,6 +57,8 @@ type ExploreState struct {
 
 // FrontierState is one serialized frontier item: a schedule prefix and,
 // under partial-order reduction, the sleep set at the node it reaches.
+//
+//gsb:serialized
 type FrontierState struct {
 	Choices []int `json:"choices"`
 	Sleep   []int `json:"sleep,omitempty"`
@@ -63,6 +67,8 @@ type FrontierState struct {
 // FailureState is a serialized exploration failure. Only the rendered
 // message survives serialization; a restored failure compares equal to
 // the original by text, not by errors.Is identity.
+//
+//gsb:serialized
 type FailureState struct {
 	Choices []int  `json:"choices"`
 	Message string `json:"message"`

@@ -365,6 +365,7 @@ func (e *explorer) runWorkers() {
 	var wg sync.WaitGroup
 	for w := 0; w < e.opts.Workers; w++ {
 		wg.Add(1)
+		//gsb:nondeterminism-ok audited worker pool: the frontier hands out work under one lock and results are merged commutatively (TestExploreWorkerCountInvariance pins the counts)
 		go func(w int) {
 			defer wg.Done()
 			e.worker(w)

@@ -197,3 +197,50 @@ func TestExploreCrashSweepDeterministicFailure(t *testing.T) {
 		}
 	}
 }
+
+// TestExploreWorkerCountInvariance is the regression test behind the
+// //gsb:nondeterminism-ok waiver on the exploration worker pool (and the
+// optionshash exclusion of Workers from campaign identity): across every
+// mode family — exhaustive, sleep-set reduced, memoized, and the seeded
+// crash sweep — the (count, error) outcome must be byte-identical at
+// every worker count. A failure here means an interleaving artifact
+// reached a result, and the correct fix is in the engine, not a wider
+// waiver.
+func TestExploreWorkerCountInvariance(t *testing.T) {
+	const n = 3
+	cases := []struct {
+		name string
+		opts ExploreOptions
+	}{
+		{"exhaustive", ExploreOptions{MaxSteps: 1000}},
+		{"sleepsets", ExploreOptions{MaxSteps: 1000, Reduction: ReductionSleepSets}},
+		{"sleepmemo", ExploreOptions{MaxSteps: 1000, Reduction: ReductionSleepMemo}},
+		{"crashsweep", ExploreOptions{CrashRuns: 300, CrashProb: 0.15, Seed: 11}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			type outcome struct {
+				count int
+				err   string
+			}
+			var want outcome
+			for i, workers := range []int{1, 2, 8} {
+				opts := tc.opts
+				opts.Workers = workers
+				count, err := Explore(context.Background(), n, DefaultIDs(n),
+					opts, raceBody(n), distinctOutputs)
+				got := outcome{count: count}
+				if err != nil {
+					got.err = err.Error()
+				}
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("workers=%d: outcome %+v, workers=1 gave %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}

@@ -179,7 +179,7 @@ func (m *traceMemo) hashes() []uint64 {
 	defer m.mu.Unlock()
 	out := make([]uint64, 0, len(m.seen))
 	for h := range m.seen {
-		out = append(out, h)
+		out = append(out, h) //gsb:nondeterminism-ok canonicalized by the slices.Sort below before anything observes the order
 	}
 	slices.Sort(out)
 	return out

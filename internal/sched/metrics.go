@@ -66,36 +66,42 @@ func newEngineMetrics(r *stats.Registry) *engineMetrics {
 	}
 }
 
+//gsb:hotpath
 func (m *engineMetrics) incRuns() {
 	if m != nil {
 		m.runs.Inc()
 	}
 }
 
+//gsb:hotpath
 func (m *engineMetrics) incSchedules() {
 	if m != nil {
 		m.schedules.Inc()
 	}
 }
 
+//gsb:hotpath
 func (m *engineMetrics) incSteals() {
 	if m != nil {
 		m.steals.Inc()
 	}
 }
 
+//gsb:hotpath
 func (m *engineMetrics) incAborts() {
 	if m != nil {
 		m.aborts.Inc()
 	}
 }
 
+//gsb:hotpath
 func (m *engineMetrics) incPrunes() {
 	if m != nil {
 		m.prunes.Inc()
 	}
 }
 
+//gsb:hotpath
 func (m *engineMetrics) setFrontier(depth int64) {
 	if m != nil {
 		m.frontier.Set(depth)

@@ -61,6 +61,8 @@ type RoundRobin struct {
 func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
 
 // Next implements Policy.
+//
+//gsb:hotpath
 func (rr *RoundRobin) Next(pending []int, _ int) Decision {
 	for _, p := range pending {
 		if p > rr.last {
@@ -84,6 +86,8 @@ func NewRandom(seed int64) *Random {
 }
 
 // Next implements Policy.
+//
+//gsb:hotpath
 func (r *Random) Next(pending []int, _ int) Decision {
 	return Decision{Proc: pending[r.rng.Intn(len(pending))]}
 }
@@ -111,6 +115,8 @@ func NewRandomCrash(seed int64, crashProb float64, maxCrashes int) *RandomCrash 
 }
 
 // Next implements Policy.
+//
+//gsb:hotpath
 func (r *RandomCrash) Next(pending []int, _ int) Decision {
 	p := pending[r.rng.Intn(len(pending))]
 	if r.crashes < r.maxCrashes && r.rng.Float64() < r.crashProb {
@@ -156,6 +162,8 @@ func PermutedSchedule(schedule []Step, perm []int) []Step {
 }
 
 // Next implements Policy.
+//
+//gsb:hotpath
 func (s *Script) Next(pending []int, stepNo int) Decision {
 	for s.pos < len(s.steps) {
 		d := s.steps[s.pos]
@@ -188,6 +196,8 @@ type CrashAt struct {
 // can never over-grant the target — no steering of the inner policy is
 // needed. (An inner policy that itself crashes proc early, e.g.
 // RandomCrash, simply preempts the scripted crash.)
+//
+//gsb:hotpath
 func (c *CrashAt) Next(pending []int, stepNo int) Decision {
 	if !c.crashed {
 		for _, p := range pending {

@@ -1,0 +1,26 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestCheckpointStateRoundTrips is the dynamic half of gsbvet's
+// statefield contract: the analyzer proves every exported field of the
+// //gsb:serialized structs carries a json tag; this test proves each
+// field actually survives an encode/decode cycle, so a field silently
+// dropped by the wire format fails here by name.
+func TestCheckpointStateRoundTrips(t *testing.T) {
+	for _, v := range []any{
+		&ExploreState{},
+		&FrontierState{},
+		&FailureState{},
+		&SeededState{},
+		&SeededFailure{},
+	} {
+		if err := lint.RoundTripJSON(v); err != nil {
+			t.Error(err)
+		}
+	}
+}

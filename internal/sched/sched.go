@@ -94,6 +94,8 @@ var errCrashed = errors.New("sched: process crashed")
 //
 // If the scheduler crashes the process instead of granting the step, Exec
 // never returns (the coroutine unwinds).
+//
+//gsb:hotpath
 func (p *Proc) Exec(name string, op func() any) any {
 	if !p.yield(stepReq{name: name, op: op}) {
 		// The runner was closed mid-run; unwind like a crash.
@@ -110,6 +112,8 @@ func (p *Proc) Exec(name string, op func() any) any {
 
 // Decide records v as the process's output (the write to the write-once
 // output_i register of the paper) as one atomic step.
+//
+//gsb:hotpath
 func (p *Proc) Decide(v int) {
 	p.decideVal = v
 	p.Exec("decide", p.decideOp)
@@ -429,6 +433,8 @@ func (r *Runner) Run(body Body) (*Result, error) {
 }
 
 // beginRun resets the per-run state in place (no allocation).
+//
+//gsb:hotpath
 func (r *Runner) beginRun() {
 	res := r.result
 	for i := 0; i < r.n; i++ {
@@ -455,6 +461,8 @@ func (r *Runner) beginRun() {
 // until the coroutine parks — it can never re-enter the pending set. The
 // denials terminate because each one unwinds to the body's next enclosing
 // defer, and the defer stack is finite.
+//
+//gsb:hotpath
 func (r *Runner) pull(p *Proc) {
 	req, ok := p.next()
 	for ok && !req.parked && p.dead {
@@ -471,6 +479,8 @@ func (r *Runner) pull(p *Proc) {
 
 // crashPull denies the process's step: the resumed Exec unwinds the
 // coroutine back to its park, and the process exits the run.
+//
+//gsb:hotpath
 func (r *Runner) crashPull(p *Proc) {
 	p.dead = true
 	p.crashed = true
@@ -484,7 +494,10 @@ func (r *Runner) crashPull(p *Proc) {
 // deferred recovery crash-unwinds every suspended process, so the panic
 // cannot leak a coroutine; op panics are attributed to the granted process
 // and re-raised by Run, any other panic is re-raised as-is.
+//
+//gsb:hotpath
 func (r *Runner) schedule() (budgetErr error) {
+	//gsb:alloc-ok open-coded defer in a function whose closure does not escape: stack-allocated; gsbbench pins the hot path at 0 allocs/run
 	defer func() {
 		if rec := recover(); rec != nil {
 			g := r.granting
@@ -503,7 +516,7 @@ func (r *Runner) schedule() (budgetErr error) {
 		idx := r.pendingIdx[:0]
 		for i := 0; i < r.n; i++ {
 			if r.pendingOn[i] {
-				idx = append(idx, i)
+				idx = append(idx, i) //gsb:alloc-ok appends into r.pendingIdx[:0], pre-grown to n at NewRunner
 			}
 		}
 		r.pendingIdx = idx
@@ -549,7 +562,7 @@ func (r *Runner) schedule() (budgetErr error) {
 			}
 			r.crashedCount++
 			r.result.Crashed[dec.Proc] = true
-			r.result.Schedule = append(r.result.Schedule, Step{Proc: dec.Proc, Crash: true})
+			r.result.Schedule = append(r.result.Schedule, Step{Proc: dec.Proc, Crash: true}) //gsb:alloc-ok reused Result.Schedule scratch, steady-state capacity after the first run
 			r.crashPull(r.procs[dec.Proc])
 			continue
 		}
@@ -559,7 +572,7 @@ func (r *Runner) schedule() (budgetErr error) {
 		r.granting = -1
 		r.result.Steps++
 		r.result.procSteps[dec.Proc]++
-		r.result.Schedule = append(r.result.Schedule, Step{Proc: dec.Proc, Op: req.name})
+		r.result.Schedule = append(r.result.Schedule, Step{Proc: dec.Proc, Op: req.name}) //gsb:alloc-ok reused Result.Schedule scratch, steady-state capacity after the first run
 		p := r.procs[dec.Proc]
 		p.replyVal = val
 		r.pull(p)
@@ -588,11 +601,13 @@ func (r *Runner) unwind() {
 // nextDecision consults the policy for the next scheduling decision,
 // passing the pending operations' labels when the policy asks for them
 // (OpAwarePolicy). The slices are the runner's reusable scratch buffers.
+//
+//gsb:hotpath
 func (r *Runner) nextDecision(pendingIdx []int) Decision {
 	if oap, ok := r.policy.(OpAwarePolicy); ok {
 		ops := r.opsBuf[:0]
 		for _, i := range pendingIdx {
-			ops = append(ops, r.pendingReq[i].name)
+			ops = append(ops, r.pendingReq[i].name) //gsb:alloc-ok appends into r.opsBuf[:0], pre-grown to n at NewRunner
 		}
 		r.opsBuf = ops
 		return oap.NextOps(pendingIdx, ops, r.result.Steps)

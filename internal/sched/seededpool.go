@@ -113,6 +113,8 @@ func ExploreSeeded(ctx context.Context, n int, ids []int, opts ExploreOptions, r
 // is an exact resume point: re-running from it executes exactly the runs
 // an uninterrupted batch would have. The zero value of Shard/Of means
 // shard 0 of 1 (the whole batch).
+//
+//gsb:serialized
 type SeededState struct {
 	Shard int   `json:"shard"`
 	Of    int   `json:"of"`
@@ -128,6 +130,8 @@ type SeededState struct {
 // SeededFailure is a serialized seeded-run failure: the global run index
 // and the rendered error. As with FailureState, only the message survives
 // serialization.
+//
+//gsb:serialized
 type SeededFailure struct {
 	Run     int    `json:"run"`
 	Message string `json:"message"`
@@ -239,6 +243,7 @@ func SeededSlice(ctx context.Context, n int, ids []int, opts ExploreOptions, tot
 
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
+		//gsb:nondeterminism-ok audited worker pool: runs are claimed by atomic index and every result is a pure function of DeriveRunSeed(Seed, i), so interleaving cannot change the report
 		go func() {
 			defer wg.Done()
 			// One reusable runner per worker: Reset re-arms it with run

@@ -1,0 +1,21 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestCheckpointStateRoundTrips: see the statefield analyzer
+// (internal/lint) — every exported field of the //gsb:serialized structs
+// must survive an encode/decode cycle.
+func TestCheckpointStateRoundTrips(t *testing.T) {
+	for _, v := range []any{
+		&Snapshot{},
+		&HistogramSnapshot{},
+	} {
+		if err := lint.RoundTripJSON(v); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -42,11 +42,15 @@ type Counter struct {
 }
 
 // Inc adds 1 to the counter.
+//
+//gsb:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds delta to the counter. Counters are monotone by convention;
 // Restore uses Add internally, so negative deltas are not rejected, but
 // engine code must never pass one.
+//
+//gsb:hotpath
 func (c *Counter) Add(delta int64) { c.v.Add(delta) }
 
 // Value returns the current count.
@@ -59,9 +63,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//gsb:hotpath
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add moves the gauge by delta.
+//
+//gsb:hotpath
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 
 // Value returns the current level.
@@ -84,6 +92,8 @@ type Histogram struct {
 var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
 // Observe records one observation.
+//
+//gsb:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
@@ -264,6 +274,8 @@ func formatBound(b float64) string {
 }
 
 // HistogramSnapshot is the serializable state of one histogram.
+//
+//gsb:serialized
 type HistogramSnapshot struct {
 	// Bounds are the bucket upper bounds (+Inf implicit); Counts has one
 	// entry per bucket plus the +Inf bucket, non-cumulative.
@@ -276,6 +288,8 @@ type HistogramSnapshot struct {
 // Snapshot is a serializable point-in-time copy of a registry: the value
 // every campaign checkpoint carries (docs/checkpoint-format.md) so
 // counters survive kills and sum across shards.
+//
+//gsb:serialized
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
