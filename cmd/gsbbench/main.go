@@ -31,6 +31,14 @@
 // benchmark is a silent hole in coverage). A legitimate change to the
 // measured set or counts means regenerating the baseline with
 // `make bench`.
+//
+// When the gate fails on a performance regression the run also explains
+// it: for each regressed entry whose CPU profile exists both under
+// -baseline-profiles (default: the committed profiles/) and the current
+// -profiles directory, it prints the top -explain-top per-function
+// flat-time deltas between the two profiles, naming the suspect hot
+// path. `gsbbench -explain BASE.pprof,CUR.pprof` prints the same table
+// standalone for any two profiles.
 package main
 
 import (
@@ -39,6 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -486,7 +495,11 @@ func entryKey(e Entry) string {
 // for counter noise); deterministic columns — schedule and class counts —
 // must match exactly. The runner-steady-state gauge entry is excluded:
 // its own pinned bound already gates it, in absolute terms.
-func compareReports(cur, base Report, maxDrop, maxAllocsGrowth float64) (failures, notes []string) {
+//
+// regressed pairs up the performance failures — (baseline, current) for
+// each throughput-drop or allocs-growth failure — so the caller can
+// explain them by diffing the two entries' CPU profiles.
+func compareReports(cur, base Report, maxDrop, maxAllocsGrowth float64) (failures, notes []string, regressed [][2]Entry) {
 	current := make(map[string]Entry, len(cur.Entries))
 	for _, e := range cur.Entries {
 		if e.Mode == "allocs-gauge" {
@@ -511,13 +524,19 @@ func compareReports(cur, base Report, maxDrop, maxAllocsGrowth float64) (failure
 		if c.Classes != b.Classes {
 			failures = append(failures, fmt.Sprintf("%s: class count %d, baseline %d (determinism drift)", key, c.Classes, b.Classes))
 		}
+		perf := false
 		if b.RunsPerSec > 0 && c.RunsPerSec < b.RunsPerSec*(1-maxDrop) {
 			failures = append(failures, fmt.Sprintf("%s: %.0f runs/s, down %.0f%% from the baseline's %.0f (limit %.0f%%)",
 				key, c.RunsPerSec, 100*(1-c.RunsPerSec/b.RunsPerSec), b.RunsPerSec, 100*maxDrop))
+			perf = true
 		}
 		if c.AllocsPerRun > b.AllocsPerRun*(1+maxAllocsGrowth)+0.5 {
 			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/run, up from the baseline's %.1f (limit +%.0f%%)",
 				key, c.AllocsPerRun, b.AllocsPerRun, 100*maxAllocsGrowth))
+			perf = true
+		}
+		if perf {
+			regressed = append(regressed, [2]Entry{b, c})
 		}
 	}
 	for key := range current {
@@ -525,7 +544,30 @@ func compareReports(cur, base Report, maxDrop, maxAllocsGrowth float64) (failure
 	}
 	sort.Strings(failures)
 	sort.Strings(notes)
-	return failures, notes
+	sort.Slice(regressed, func(i, j int) bool { return entryKey(regressed[i][1]) < entryKey(regressed[j][1]) })
+	return failures, notes, regressed
+}
+
+// explainRegressions prints a per-function flat-time delta table for
+// each performance regression whose baseline and current CPU profiles
+// both exist on disk — the part of the gate that names the suspect hot
+// path instead of just the regressed number. A missing or unreadable
+// profile downgrades to a note; the gate already failed.
+func explainRegressions(w io.Writer, regressed [][2]Entry, baselineDir, curDir string, top int) {
+	for _, pair := range regressed {
+		b, c := pair[0], pair[1]
+		key := entryKey(c)
+		if b.Profile == "" || c.Profile == "" || baselineDir == "" || curDir == "" {
+			fmt.Fprintf(w, "gsbbench: %s: no profile pair to explain the regression with (run with -profiles against committed baselines)\n", key)
+			continue
+		}
+		table, err := repro.ExplainProfileDiff(filepath.Join(baselineDir, b.Profile), filepath.Join(curDir, c.Profile), top)
+		if err != nil {
+			fmt.Fprintf(w, "gsbbench: %s: cannot explain the regression: %v\n", key, err)
+			continue
+		}
+		fmt.Fprintf(w, "gsbbench: %s: top-%d flat-time shifts, baseline profile vs current:\n%s", key, top, table)
+	}
 }
 
 func main() {
@@ -536,7 +578,29 @@ func main() {
 	maxDrop := flag.Float64("max-drop", 0.25, "with -compare, the largest tolerated relative runs/sec drop")
 	maxAllocsGrowth := flag.Float64("max-allocs-growth", 0.02, "with -compare, the largest tolerated relative allocs-per-run growth (the noise floor on 'any increase fails')")
 	profiles := flag.String("profiles", "", "directory for per-entry pprof CPU profiles (created if missing; empty = no profiling)")
+	baselineProfiles := flag.String("baseline-profiles", "profiles", "with -compare, the directory holding the baseline report's committed pprof profiles (for regression explanations)")
+	explainTop := flag.Int("explain-top", 10, "how many per-function flat-time deltas a regression explanation prints")
+	explain := flag.String("explain", "", "standalone mode: BASE.pprof,CUR.pprof — print the per-function flat-time deltas between two profiles and exit")
 	flag.Parse()
+
+	if *explain != "" {
+		basePath, curPath, ok := strings.Cut(*explain, ",")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gsbbench: -explain wants BASE.pprof,CUR.pprof, got %q\n", *explain)
+			os.Exit(1)
+		}
+		table, err := repro.ExplainProfileDiff(basePath, curPath, *explainTop)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbbench: -explain: %v\n", err)
+			os.Exit(1)
+		}
+		if table == "" {
+			fmt.Println("no per-function flat-time shifts between the two profiles")
+			return
+		}
+		fmt.Printf("top-%d flat-time shifts, %s vs %s:\n%s", *explainTop, basePath, curPath, table)
+		return
+	}
 
 	if *profiles != "" {
 		if err := os.MkdirAll(*profiles, 0o755); err != nil {
@@ -647,7 +711,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gsbbench: baseline %s has schema %q, this build writes %q (regenerate the baseline)\n", *compare, base.Schema, rep.Schema)
 			os.Exit(1)
 		}
-		failures, notes := compareReports(rep, base, *maxDrop, *maxAllocsGrowth)
+		failures, notes, regressed := compareReports(rep, base, *maxDrop, *maxAllocsGrowth)
 		for _, n := range notes {
 			fmt.Printf("  note: %s\n", n)
 		}
@@ -655,6 +719,7 @@ func main() {
 			for _, f := range failures {
 				fmt.Fprintf(os.Stderr, "gsbbench: regression vs %s: %s\n", *compare, f)
 			}
+			explainRegressions(os.Stderr, regressed, *baselineProfiles, *profiles, *explainTop)
 			os.Exit(1)
 		}
 		fmt.Printf("no regressions vs %s (max runs/sec drop %.0f%%, max allocs growth %.0f%%)\n", *compare, 100**maxDrop, 100**maxAllocsGrowth)

@@ -49,7 +49,7 @@ func TestCompareReports(t *testing.T) {
 			cur := Report{Schema: base.Schema}
 			cur.Entries = append([]Entry(nil), base.Entries...)
 			tc.mutate(&cur)
-			failures, notes := compareReports(cur, base, 0.25, 0.02)
+			failures, notes, _ := compareReports(cur, base, 0.25, 0.02)
 			if tc.wantFail == "" && len(failures) > 0 {
 				t.Errorf("unexpected failures: %v", failures)
 			}
@@ -60,5 +60,62 @@ func TestCompareReports(t *testing.T) {
 				t.Errorf("notes %v do not mention %q", notes, tc.wantNote)
 			}
 		})
+	}
+}
+
+// TestCompareReportsPairsRegressions: the gate returns the
+// (baseline, current) entry pair for performance failures — and only
+// those — so main can diff their CPU profiles.
+func TestCompareReportsPairsRegressions(t *testing.T) {
+	base := Report{Schema: "gsb-bench/v1", Entries: []Entry{
+		entry("box-6-3", "", "sleep-sets", 720, 0, 1000, 100),
+		entry("slot-renaming-2", "", "sleep-sets", 8, 0, 9000, 10),
+	}}
+	cur := Report{Schema: base.Schema, Entries: []Entry{
+		entry("box-6-3", "", "sleep-sets", 720, 0, 500, 100),       // throughput drop
+		entry("slot-renaming-2", "", "sleep-sets", 7, 0, 9000, 10), // drift, not perf
+	}}
+	failures, _, regressed := compareReports(cur, base, 0.25, 0.02)
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want drop + drift", failures)
+	}
+	if len(regressed) != 1 || regressed[0][0].Name != "box-6-3" || regressed[0][1].RunsPerSec != 500 {
+		t.Fatalf("regressed pairs = %+v, want the single throughput drop", regressed)
+	}
+}
+
+// TestExplainRegressions exercises the profile-diff explanation against
+// the committed induced-regression fixture pair, plus the degraded
+// no-profile path.
+func TestExplainRegressions(t *testing.T) {
+	b := entry("box-6-3", "", "sleep-sets", 720, 0, 1000, 100)
+	c := b
+	c.RunsPerSec = 500
+	b.Profile, c.Profile = "base.pprof", "regressed.pprof"
+	var buf strings.Builder
+	explainRegressions(&buf, [][2]Entry{{b, c}}, "../../internal/profdiff/testdata", "../../internal/profdiff/testdata", 10)
+	out := buf.String()
+	for _, want := range []string{
+		"box-6-3||sleep-sets|0: top-10 flat-time shifts",
+		"repro/internal/sched.(*runner).hotStep",
+		"+30.00%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	c.Profile = ""
+	explainRegressions(&buf, [][2]Entry{{b, c}}, "profiles", "", 10)
+	if !strings.Contains(buf.String(), "no profile pair") {
+		t.Errorf("missing-profile note absent:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	c.Profile = "nonexistent.pprof"
+	explainRegressions(&buf, [][2]Entry{{b, c}}, "../../internal/profdiff/testdata", "../../internal/profdiff/testdata", 10)
+	if !strings.Contains(buf.String(), "cannot explain") {
+		t.Errorf("unreadable-profile note absent:\n%s", buf.String())
 	}
 }

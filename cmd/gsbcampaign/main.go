@@ -17,12 +17,18 @@
 // -runs schedules), crash (randomized crash sweep of -runs runs).
 //
 // Observability (docs/metrics.md): start and resume take -metrics ADDR
-// (serve Prometheus /metrics plus a gsbstatus/v1 JSON /status endpoint
-// for the live campaign) and -progress DUR (write a gsbprogress/v1
-// NDJSON record to stderr every DUR; 0 disables). Counters are
-// cumulative across resumed lives — they are checkpointed with the
-// engine state. `status -watch` renders live progress for a running (or
-// finished) campaign by polling its snapshot file.
+// (serve a live HTML coverage dashboard at /, Prometheus /metrics, a
+// gsbstatus/v1 JSON /status endpoint, and the gsbtimeline/v1 series at
+// /timeline) and -progress DUR (write a gsbprogress/v1 NDJSON record to
+// stderr every DUR; 0 disables). Counters are cumulative across resumed
+// lives — they are checkpointed with the engine state, and each
+// checkpoint write also appends one timeline sample to the snapshot's
+// NDJSON sidecar (<ckpt>.timeline), so a kill/resume sequence yields one
+// continuous coverage timeline. `status -watch` renders live progress
+// for a running (or finished) campaign by polling its snapshot file,
+// with a sparkline of the sidecar's coverage curve and an ETA when the
+// mode's total is known up front. `merge -timeline FILE` interleaves the
+// shard sidecars into one campaign-wide timeline.
 //
 // SIGINT/SIGTERM pause the campaign at the next checkpoint boundary: the
 // engine stops claiming new work, finishes the runs in flight, writes the
@@ -102,7 +108,7 @@ func usage() {
   gsbcampaign start  -ckpt FILE -protocol NAME -n N -mode MODE [-metrics ADDR] [-progress DUR] [flags]
   gsbcampaign resume -ckpt FILE [-workers W] [-every RUNS] [-metrics ADDR] [-progress DUR] [-json]
   gsbcampaign status -ckpt FILE [-json | -watch [-interval DUR]]
-  gsbcampaign merge  [-json] SHARD.ckpt...
+  gsbcampaign merge  [-json] [-timeline FILE] SHARD.ckpt...
 modes: exhaustive | por | por-memo | walk | pct | crash
 run 'gsbcampaign start -h' for the start flags`)
 }
@@ -372,12 +378,68 @@ func cmdStatus(args []string) int {
 	return exitOK
 }
 
+// shardTotalOf mirrors the campaign library's shard split: the number
+// of seeded runs this shard owns, 0 when the total is unknowable up
+// front (the enumerating modes discover their tree as they walk it).
+func shardTotalOf(h repro.CampaignHeader) int64 {
+	total := 0
+	switch h.Mode {
+	case repro.CampaignWalk, repro.CampaignPCT:
+		total = h.Options.SampleRuns
+	case repro.CampaignCrash:
+		total = h.Options.CrashRuns
+	}
+	if total <= h.Shard {
+		return 0
+	}
+	return int64((total-h.Shard-1)/h.Of + 1)
+}
+
+// sparkline renders the timeline's coverage-growth curve — distinct
+// trace classes when the mode counts them, verified runs otherwise — as
+// a string of spark characters over the last w samples.
+func sparkline(recs []repro.TimelineRecord, w int) string {
+	if len(recs) == 0 {
+		return ""
+	}
+	useClasses := recs[len(recs)-1].Classes > 0
+	vals := make([]int64, 0, len(recs))
+	for _, r := range recs {
+		if useClasses {
+			vals = append(vals, r.Classes)
+		} else {
+			vals = append(vals, r.Runs)
+		}
+	}
+	if len(vals) > w {
+		vals = vals[len(vals)-w:]
+	}
+	var max int64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteRune(ticks[int(v*int64(len(ticks)-1)/max)])
+	}
+	return b.String()
+}
+
 // watchStatus polls the snapshot header and prints one progress line per
 // tick until the campaign finishes. It follows a campaign run by another
 // process (the writer replaces the file atomically, so every read sees a
-// consistent snapshot); the printed rate is derived from successive
-// header run counts, i.e. it is checkpoint-granular. Ctrl-C stops the
-// watch without touching the campaign.
+// consistent snapshot). Each line carries a sparkline of the coverage
+// curve from the snapshot's timeline sidecar (when one exists), the
+// current rate — the sidecar's last in-process runs/sec sample when
+// available, successive header run counts (checkpoint-granular)
+// otherwise — and, for seeded modes whose total is known up front, an
+// ETA. Ctrl-C stops the watch without touching the campaign.
 func watchStatus(path string, interval time.Duration) int {
 	if interval <= 0 {
 		interval = 2 * time.Second
@@ -392,16 +454,35 @@ func watchStatus(path string, interval time.Duration) int {
 			fmt.Fprintf(os.Stderr, "gsbcampaign status: %v\n", err)
 			return exitFailed
 		}
+		// The sidecar is best-effort: campaigns run without an observer
+		// (or pre-timeline snapshots) simply have none.
+		recs, _ := repro.ReadTimeline(repro.TimelineSidecarPath(path))
 		now := time.Now()
+		var rateVal float64
+		if len(recs) > 0 && recs[len(recs)-1].RunsPerSec > 0 {
+			rateVal = recs[len(recs)-1].RunsPerSec
+		} else if lastRuns >= 0 && h.Runs > lastRuns && now.After(lastTime) {
+			rateVal = float64(h.Runs-lastRuns) / now.Sub(lastTime).Seconds()
+		}
 		rate := ""
-		if lastRuns >= 0 && h.Runs > lastRuns && now.After(lastTime) {
-			rate = fmt.Sprintf(", %.0f runs/sec", float64(h.Runs-lastRuns)/now.Sub(lastTime).Seconds())
+		if rateVal > 0 {
+			rate = fmt.Sprintf(", %.0f runs/sec", rateVal)
+		}
+		eta := ""
+		if total := shardTotalOf(h); !h.Done && total > 0 && rateVal > 0 {
+			if left := total - h.Runs; left > 0 {
+				d := time.Duration(float64(left) / rateVal * float64(time.Second))
+				eta = fmt.Sprintf(", ETA %s", d.Round(time.Second))
+			}
 		}
 		line := fmt.Sprintf("%s shard %d/%d on %s: %d runs", h.Mode, h.Shard, h.Of, h.Task, h.Runs)
 		if h.Frontier > 0 {
 			line += fmt.Sprintf(", %d frontier prefixes", h.Frontier)
 		}
-		fmt.Printf("%s%s (checkpoint %s)\n", line, rate, h.Updated)
+		if spark := sparkline(recs, 32); spark != "" {
+			line = spark + "  " + line
+		}
+		fmt.Printf("%s%s%s (checkpoint %s)\n", line, rate, eta, h.Updated)
 		if h.Done {
 			if h.Result != nil && h.Result.Violation != "" {
 				fmt.Printf("verdict: VIOLATION after %d schedules: %s\n", h.Result.Schedules, h.Result.Violation)
@@ -425,6 +506,7 @@ func cmdMerge(args []string) int {
 	fs := flag.NewFlagSet("gsbcampaign merge", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON record")
 	workers := fs.Int("workers", 0, "worker goroutines for the merge's counting pass (0 = GOMAXPROCS)")
+	timelineOut := fs.String("timeline", "", "also merge the shards' timeline sidecars into one campaign-wide NDJSON timeline at FILE")
 	fs.Parse(args)
 	paths := fs.Args()
 
@@ -438,7 +520,35 @@ func cmdMerge(args []string) int {
 		return exitFailed
 	}
 	rep, err := repro.MergeCampaigns(context.Background(), cfg, paths)
+	if *timelineOut != "" && err == nil {
+		if merr := mergeTimelines(paths, *timelineOut); merr != nil {
+			fmt.Fprintf(os.Stderr, "gsbcampaign merge: %v\n", merr)
+			return exitFailed
+		}
+	}
 	return report(rep, err, *jsonOut)
+}
+
+// mergeTimelines interleaves the shard snapshots' timeline sidecars by
+// (sample index, shard) into one campaign-wide NDJSON timeline file.
+func mergeTimelines(paths []string, out string) error {
+	series := make([][]repro.TimelineRecord, 0, len(paths))
+	for _, p := range paths {
+		recs, err := repro.ReadTimeline(repro.TimelineSidecarPath(p))
+		if err != nil {
+			return fmt.Errorf("timeline sidecar of %s: %w", p, err)
+		}
+		series = append(series, recs)
+	}
+	merged, err := repro.MergeTimelines(series...)
+	if err != nil {
+		return err
+	}
+	if err := repro.WriteTimeline(out, merged); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gsbcampaign: wrote merged timeline %s (%d samples from %d shards)\n", out, len(merged), len(paths))
+	return nil
 }
 
 // report renders a campaign outcome and picks the exit code.

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 func TestMain(m *testing.M) {
@@ -168,5 +170,104 @@ func TestGsbcampaignBadResumeTamper(t *testing.T) {
 	}
 	if _, stderr, code := runSelf(t, "resume", "-ckpt", ckpt); code != 1 || !strings.Contains(stderr, "hash") {
 		t.Errorf("resume of a tampered snapshot: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestGsbcampaignMergeTimeline: every CLI campaign leaves a timeline
+// sidecar next to its snapshot, and `merge -timeline FILE` interleaves
+// the shard sidecars into one campaign-wide gsbtimeline/v1 NDJSON file.
+func TestGsbcampaignMergeTimeline(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-protocol", "wsb", "-n", "4", "-mode", "por", "-seed", "1"}
+	paths := []string{filepath.Join(dir, "s0.ckpt"), filepath.Join(dir, "s1.ckpt")}
+	for s, p := range paths {
+		args := append([]string{"start", "-ckpt", p, "-shard", []string{"0/2", "1/2"}[s], "-json"}, base...)
+		if stdout, stderr, code := runSelf(t, args...); code != 0 {
+			t.Fatalf("shard %d: exit %d\nstdout: %s\nstderr: %s", s, code, stdout, stderr)
+		}
+		if _, err := os.Stat(repro.TimelineSidecarPath(p)); err != nil {
+			t.Fatalf("shard %d left no timeline sidecar: %v", s, err)
+		}
+	}
+	out := filepath.Join(dir, "campaign.timeline")
+	_, stderr, code := runSelf(t, "merge", "-timeline", out, paths[0], paths[1])
+	if code != 0 {
+		t.Fatalf("merge: exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "merged timeline") {
+		t.Errorf("merge did not announce the merged timeline: %q", stderr)
+	}
+	recs, err := repro.ReadTimeline(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("merged timeline has %d samples, want one per shard at least", len(recs))
+	}
+	shards := map[int]bool{}
+	for _, r := range recs {
+		if r.Schema != "gsbtimeline/v1" {
+			t.Fatalf("merged record schema %q", r.Schema)
+		}
+		shards[r.Shard] = true
+	}
+	if !shards[0] || !shards[1] {
+		t.Errorf("merged timeline covers shards %v, want both", shards)
+	}
+}
+
+// TestSparkline pins the watch sparkline rendering: runs by default,
+// classes preferred when the mode counts them, empty when there is
+// nothing to draw, last-w truncation.
+func TestSparkline(t *testing.T) {
+	if s := sparkline(nil, 8); s != "" {
+		t.Errorf("empty timeline sparkline = %q", s)
+	}
+	if s := sparkline([]repro.TimelineRecord{{Runs: 0}}, 8); s != "" {
+		t.Errorf("all-zero sparkline = %q", s)
+	}
+	runs := []repro.TimelineRecord{{Runs: 0}, {Runs: 50}, {Runs: 100}}
+	if s := sparkline(runs, 8); s != "▁▄█" {
+		t.Errorf("runs sparkline = %q, want ▁▄█", s)
+	}
+	classes := []repro.TimelineRecord{{Runs: 100, Classes: 10}, {Runs: 200, Classes: 40}}
+	if s := sparkline(classes, 8); s != "▂█" {
+		t.Errorf("classes sparkline = %q, want ▂█", s)
+	}
+	if s := sparkline(runs, 2); s != "▄█" {
+		t.Errorf("truncated sparkline = %q, want the last 2 samples", s)
+	}
+}
+
+// TestShardTotalOf mirrors the library's shard split: seeded modes
+// divide their run budget across shards, enumerating modes have no
+// up-front total.
+func TestShardTotalOf(t *testing.T) {
+	h := func(mode repro.CampaignMode, runs, shard, of int) repro.CampaignHeader {
+		hh := repro.CampaignHeader{Mode: mode, Shard: shard, Of: of}
+		if mode == repro.CampaignCrash {
+			hh.Options.CrashRuns = runs
+		} else {
+			hh.Options.SampleRuns = runs
+		}
+		return hh
+	}
+	cases := []struct {
+		name string
+		h    repro.CampaignHeader
+		want int64
+	}{
+		{"walk-shard0", h(repro.CampaignWalk, 10, 0, 3), 4},
+		{"walk-shard1", h(repro.CampaignWalk, 10, 1, 3), 3},
+		{"walk-shard2", h(repro.CampaignWalk, 10, 2, 3), 3},
+		{"pct", h(repro.CampaignPCT, 6, 0, 2), 3},
+		{"crash", h(repro.CampaignCrash, 7, 1, 2), 3},
+		{"exhaustive-unknown", h(repro.CampaignExhaustive, 0, 0, 1), 0},
+		{"por-unknown", h(repro.CampaignPOR, 0, 0, 1), 0},
+	}
+	for _, tc := range cases {
+		if got := shardTotalOf(tc.h); got != tc.want {
+			t.Errorf("%s: shardTotalOf = %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }

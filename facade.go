@@ -8,11 +8,13 @@ import (
 	"repro/internal/mem"
 	"repro/internal/msgnet"
 	"repro/internal/nocomm"
+	"repro/internal/profdiff"
 	"repro/internal/sample"
 	"repro/internal/sched"
 	"repro/internal/solvability"
 	"repro/internal/stats"
 	"repro/internal/tasks"
+	"repro/internal/timeline"
 	"repro/internal/topology"
 	"repro/internal/universal"
 	"repro/internal/vecmath"
@@ -193,6 +195,12 @@ type (
 	// StatsSnapshot is a serializable point-in-time copy of a registry:
 	// carried in campaign checkpoints and final reports.
 	StatsSnapshot = stats.Snapshot
+	// TimelineRecord is one gsbtimeline/v1 coverage-timeline sample: a
+	// snapshot of the cumulative campaign counters taken at each
+	// checkpoint write and appended to the snapshot's NDJSON timeline
+	// sidecar (<snapshot>.timeline). Kill/resume extends one continuous
+	// series; MergeTimelines interleaves finished shard sidecars.
+	TimelineRecord = timeline.Record
 )
 
 // Campaign modes (derived from ExploreOptions by CampaignModeOf).
@@ -235,6 +243,40 @@ var (
 	// solver constructor — the registry cmd/gsbrun and cmd/gsbcampaign
 	// share.
 	SelectProtocol = harness.SelectProtocol
+	// Timeline sidecar access (internal/timeline): TimelineSidecarPath
+	// maps a snapshot path to its NDJSON timeline file, ReadTimeline
+	// loads a sidecar (tolerating a torn tail), MergeTimelines
+	// interleaves shard series by (sample index, shard), and
+	// WriteTimeline atomically writes a merged series — what
+	// `gsbcampaign merge` uses to emit one campaign-wide timeline.
+	TimelineSidecarPath = timeline.SidecarPath
+	ReadTimeline        = timeline.Read
+	MergeTimelines      = timeline.Merge
+	WriteTimeline       = timeline.WriteFile
+)
+
+// Profile-diff regression explanations (internal/profdiff): a minimal
+// stdlib-only pprof profile.proto reader and per-function flat-time
+// differ, so the gsbbench -compare gate can explain a regression by
+// naming the hot-path functions whose flat share moved.
+type (
+	// PprofProfile is the flat-value view of one parsed pprof profile.
+	PprofProfile = profdiff.Profile
+	// ProfileDelta is one function's flat-share change between two
+	// profiles (positive Diff: the function grew).
+	ProfileDelta = profdiff.Delta
+)
+
+var (
+	// ParseProfile reads a pprof CPU profile (gzipped or bare proto);
+	// DiffProfiles compares per-function flat shares largest-move-first;
+	// FormatProfileDiff renders the top-n deltas as an aligned table; and
+	// ExplainProfileDiff is the one-call file-to-table form gsbbench
+	// prints under a failed regression gate.
+	ParseProfile       = profdiff.ParseFile
+	DiffProfiles       = profdiff.Diff
+	FormatProfileDiff  = profdiff.Format
+	ExplainProfileDiff = profdiff.Explain
 )
 
 // Shared-memory objects (internal/mem).

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tasks"
+	"repro/internal/timeline"
 )
 
 // Mode names a campaign's verification mode. It is derived from the
@@ -104,6 +105,19 @@ type Config struct {
 	// When nil and Opts.Stats is also nil, the campaign still keeps a
 	// private registry so checkpoints carry cumulative counters.
 	Observer *Observer
+	// TimelinePath overrides where the gsbtimeline/v1 sidecar is written
+	// when an Observer is set (default: Path + ".timeline", see
+	// timeline.SidecarPath). The timeline is only kept for observed
+	// campaigns — its timestamps belong to the observer layer.
+	TimelinePath string
+}
+
+// timelinePath resolves the timeline sidecar file of this campaign.
+func (c *Config) timelinePath() string {
+	if c.TimelinePath != "" {
+		return c.TimelinePath
+	}
+	return timeline.SidecarPath(c.Path)
 }
 
 // Campaign-layer metric names (the engine-layer ones are the sched Metric
@@ -243,6 +257,9 @@ func Start(ctx context.Context, cfg Config) (Report, error) {
 		}
 	}
 	cfg.ensureStats()
+	// A fresh campaign starts a fresh timeline: drop any stale sidecar
+	// left by a previous campaign at the same path.
+	_ = os.Remove(cfg.timelinePath())
 	p, err := initialState(ctx, &cfg)
 	if err != nil {
 		return Report{}, err
@@ -333,8 +350,18 @@ func run(ctx context.Context, cfg *Config, p payload) (Report, error) {
 	ckptWrites := reg.Counter(MetricCheckpointWrites, "Campaign snapshot writes.")
 	ckptSeconds := reg.Histogram(MetricCheckpointSeconds, "Campaign snapshot write latency in seconds (encode, write, sync, rename).", nil)
 	ckptBytes := reg.Gauge(MetricCheckpointBytes, "Size in bytes of the last campaign snapshot written.")
+	var tl *timeline.Writer
 	if cfg.Observer != nil {
-		cfg.Observer.attach(h, shardTotal(cfg))
+		// Observed campaigns keep the timeline sidecar. Open recovers the
+		// append position from previous lives (and truncates a torn tail),
+		// so a resumed campaign continues the same monotone series.
+		var terr error
+		tl, terr = timeline.Open(cfg.timelinePath())
+		if terr != nil {
+			return Report{}, terr
+		}
+		defer tl.Close()
+		cfg.Observer.attach(h, shardTotal(cfg), cfg.timelinePath())
 	}
 
 	slice := func(p payload) (payload, bool, error) {
@@ -381,6 +408,15 @@ func run(ctx context.Context, cfg *Config, p payload) (Report, error) {
 		if done {
 			rep.Stats = &snap
 			h.Result = &rep
+		}
+		// Timeline sample BEFORE the snapshot write: a kill between the
+		// two leaves a sample the snapshot doesn't know about, and the
+		// resumed life's writer dedups it — the reverse order would lose
+		// samples instead, breaking kill-resume ≡ uninterrupted.
+		if tl != nil {
+			if _, _, terr := tl.Append(cfg.Observer.sample(h, snap)); terr != nil {
+				return Report{}, terr
+			}
 		}
 		wstart := time.Now() //gsb:nondeterminism-ok feeds the checkpoint-latency histogram only, never a verdict or count
 		nbytes, werr := writeSnapshot(cfg.Path, h, p)

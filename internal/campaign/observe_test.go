@@ -272,3 +272,115 @@ func TestObserverRebaseAfterResume(t *testing.T) {
 		t.Errorf("final stats runs = %d, want %d", rep.Stats.Counter(sched.MetricRuns), opts.SampleRuns)
 	}
 }
+
+// TestEtaSec pins the eta_sec emission rule: 0 (the field is omitted
+// from gsbstatus/v1 serialization) whenever no honest estimate exists.
+func TestEtaSec(t *testing.T) {
+	cases := []struct {
+		name  string
+		total int64
+		runs  int64
+		rate  float64
+		done  bool
+		want  float64
+	}{
+		{"unknown total (enumerating family)", 0, 500, 100, false, 0},
+		{"no rate yet", 300, 100, 0, false, 0},
+		{"done", 300, 300, 100, true, 0},
+		{"runs at budget", 300, 300, 100, false, 0},
+		{"runs past budget (probe overshoot)", 300, 450, 100, false, 0},
+		{"mid-flight", 300, 100, 100, false, 2},
+	}
+	for _, c := range cases {
+		if got := etaSec(c.total, c.runs, c.rate, c.done); got != c.want {
+			t.Errorf("%s: etaSec(%d, %d, %g, %v) = %g, want %g",
+				c.name, c.total, c.runs, c.rate, c.done, got, c.want)
+		}
+	}
+}
+
+// TestStatusOmitsETAForUnknownTotal is the gsbstatus/v1 golden
+// regression for the enumerating family: a mid-flight exhaustive
+// campaign has a positive rate but no knowable total, so the serialized
+// status must carry neither eta_sec nor total_runs — never a bogus
+// estimate.
+func TestStatusOmitsETAForUnknownTotal(t *testing.T) {
+	tc := campCases(t)[0]
+	opts := optsFor(ModeExhaustive, 2)
+	obs := NewObserver()
+	cfg := cfgFor(tc, opts, filepath.Join(t.TempDir(), "c.ckpt"))
+	cfg.CheckpointEvery = 50
+	cfg.Observer = obs
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mid []byte
+	cfg.OnCheckpoint = func(h Header) {
+		if mid == nil && !h.Done {
+			b, err := json.Marshal(obs.status())
+			if err != nil {
+				t.Errorf("marshal mid-flight status: %v", err)
+			}
+			mid = b
+			cancel()
+		}
+	}
+	_, err := Start(ctx, cfg)
+	if err != nil && !errors.Is(err, ErrPaused) {
+		t.Fatalf("campaign: %v", err)
+	}
+	if mid == nil {
+		t.Fatal("campaign finished without a mid-flight checkpoint; shrink CheckpointEvery")
+	}
+	var st StatusRecord
+	if jerr := json.Unmarshal(mid, &st); jerr != nil {
+		t.Fatal(jerr)
+	}
+	if st.Done || st.Runs == 0 || st.RunsPerSec <= 0 {
+		t.Fatalf("mid-flight status not usable for the regression: %s", mid)
+	}
+	for _, key := range []string{"eta_sec", "total_runs"} {
+		if strings.Contains(string(mid), `"`+key+`"`) {
+			t.Errorf("mid-flight exhaustive status serialized %q: %s", key, mid)
+		}
+	}
+}
+
+// TestStatusETAPresentForSeededTotal is the counterpart golden: a
+// mid-flight walk campaign knows its budget, so eta_sec must be present
+// and positive.
+func TestStatusETAPresentForSeededTotal(t *testing.T) {
+	tc := campCases(t)[0]
+	opts := optsFor(ModeWalk, 2)
+	obs := NewObserver()
+	cfg := cfgFor(tc, opts, filepath.Join(t.TempDir(), "c.ckpt"))
+	cfg.CheckpointEvery = 100
+	cfg.Observer = obs
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mid []byte
+	cfg.OnCheckpoint = func(h Header) {
+		if mid == nil && !h.Done {
+			mid, _ = json.Marshal(obs.status())
+			cancel()
+		}
+	}
+	_, err := Start(ctx, cfg)
+	if err != nil && !errors.Is(err, ErrPaused) {
+		t.Fatalf("campaign: %v", err)
+	}
+	if mid == nil {
+		t.Fatal("campaign finished without a mid-flight checkpoint")
+	}
+	var st StatusRecord
+	if jerr := json.Unmarshal(mid, &st); jerr != nil {
+		t.Fatal(jerr)
+	}
+	if st.TotalRuns != int64(opts.SampleRuns) {
+		t.Errorf("mid-flight walk total_runs = %d, want %d", st.TotalRuns, opts.SampleRuns)
+	}
+	if !strings.Contains(string(mid), `"eta_sec"`) || st.ETASec <= 0 {
+		t.Errorf("mid-flight walk status carries no positive eta_sec: %s", mid)
+	}
+}

@@ -1,0 +1,349 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/timeline"
+)
+
+// timelineKey is the deterministic projection of a timeline record used
+// by the differentials: sample index, run count at the checkpoint
+// boundary and the done flag are reproducible in every mode; schedules
+// and classes additionally are for the seeded (sample/crash) families,
+// whose slices execute a fixed index range. The explore family's
+// mid-flight schedule/abort counts depend on worker interleaving and are
+// never differential-tested (the same contract as statsCounters).
+func timelineKey(mode Mode, r timeline.Record) string {
+	k := fmt.Sprintf("i%d runs%d done%v", r.Index, r.Runs, r.Done)
+	if mode.family() != "explore" {
+		k += fmt.Sprintf(" sched%d classes%d", r.Schedules, r.Classes)
+	}
+	return k
+}
+
+func timelineKeys(mode Mode, recs []timeline.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = timelineKey(mode, r)
+	}
+	return out
+}
+
+// TestCampaignTimelineKillResumeContinuity is the timeline continuity
+// differential in all 6 modes: a campaign killed at random checkpoints
+// and resumed until done must leave exactly the timeline series of an
+// uninterrupted run — one continuous monotone sequence of samples, no
+// gap, duplicate or fork at any kill point. (The torn-tail and
+// append-before-write recovery paths are what this exercises: every kill
+// lands between a sample append and the next one.)
+func TestCampaignTimelineKillResumeContinuity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	killed := 0
+	tc := campCases(t)[0]
+	for _, mode := range campModes {
+		opts := optsFor(mode, 2)
+		label := fmt.Sprintf("%s %s", tc.name, mode)
+
+		refCfg := cfgFor(tc, opts, filepath.Join(t.TempDir(), "ref.ckpt"))
+		refCfg.CheckpointEvery = 50
+		refCfg.Observer = NewObserver()
+		if _, err := Start(context.Background(), refCfg); err != nil {
+			t.Fatalf("%s: reference campaign: %v", label, err)
+		}
+		want, err := timeline.Read(refCfg.timelinePath())
+		if err != nil {
+			t.Fatalf("%s: reference timeline: %v", label, err)
+		}
+		if len(want) == 0 || !want[len(want)-1].Done {
+			t.Fatalf("%s: reference timeline %+v has no done sample", label, want)
+		}
+
+		cfg := cfgFor(tc, opts, filepath.Join(t.TempDir(), "c.ckpt"))
+		cfg.CheckpointEvery = 50
+		lives := 0
+		for attempt := 0; ; attempt++ {
+			if attempt > 1000 {
+				t.Fatalf("%s: campaign failed to finish after %d kills", label, attempt)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			killAt := 1 + rng.Intn(3)
+			seen := 0
+			cfg.OnCheckpoint = func(Header) {
+				if seen++; seen == killAt {
+					cancel()
+				}
+			}
+			cfg.Observer = NewObserver() // fresh observer per life, like the CLI
+			var err error
+			if attempt == 0 {
+				_, err = Start(ctx, cfg)
+			} else {
+				_, err = Resume(ctx, cfg)
+			}
+			cancel()
+			lives++
+			if !errors.Is(err, ErrPaused) {
+				if err != nil {
+					t.Fatalf("%s: resumed campaign: %v", label, err)
+				}
+				break
+			}
+		}
+		if lives >= 2 {
+			killed++
+		}
+		got, err := timeline.Read(cfg.timelinePath())
+		if err != nil {
+			t.Fatalf("%s: resumed timeline: %v", label, err)
+		}
+		gk, wk := timelineKeys(mode, got), timelineKeys(mode, want)
+		if fmt.Sprint(gk) != fmt.Sprint(wk) {
+			t.Errorf("%s: killed-and-resumed timeline (%d lives) diverged from uninterrupted:\n got %v\nwant %v",
+				label, lives, gk, wk)
+		}
+	}
+	if killed == 0 {
+		t.Fatal("no campaign in the matrix was ever killed; the differential tested nothing")
+	}
+}
+
+// TestCampaignTimelineShardMergeConcat: merging shard timelines is
+// exactly concatenation ordered by sample index (ties by shard) — the
+// merged series contains every shard sample once, in (index, shard)
+// order, and round-trips through the merged-file format.
+func TestCampaignTimelineShardMergeConcat(t *testing.T) {
+	const shards = 3
+	tc := campCases(t)[0]
+	opts := optsFor(ModeWalk, 2)
+
+	dir := t.TempDir()
+	series := make([][]timeline.Record, shards)
+	var concat []timeline.Record
+	for s := 0; s < shards; s++ {
+		cfg := cfgFor(tc, opts, filepath.Join(dir, fmt.Sprintf("shard-%d.ckpt", s)))
+		cfg.Shard, cfg.Of = s, shards
+		cfg.CheckpointEvery = 40
+		cfg.Observer = NewObserver()
+		if _, err := Start(context.Background(), cfg); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		recs, err := timeline.Read(cfg.timelinePath())
+		if err != nil {
+			t.Fatalf("shard %d timeline: %v", s, err)
+		}
+		if len(recs) == 0 || !recs[len(recs)-1].Done {
+			t.Fatalf("shard %d timeline has no done sample: %+v", s, recs)
+		}
+		for i, r := range recs {
+			if r.Index != int64(i) || r.Shard != s || r.Of != shards {
+				t.Fatalf("shard %d sample %d = index %d shard %d/%d", s, i, r.Index, r.Shard, r.Of)
+			}
+		}
+		series[s] = recs
+		concat = append(concat, recs...)
+	}
+
+	merged, err := timeline.Merge(series...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if len(merged) != len(concat) {
+		t.Fatalf("merged %d samples, shards hold %d", len(merged), len(concat))
+	}
+	for i := 1; i < len(merged); i++ {
+		a, b := merged[i-1], merged[i]
+		if b.Index < a.Index || (b.Index == a.Index && b.Shard <= a.Shard) {
+			t.Fatalf("merged[%d..%d] out of (index, shard) order: %+v, %+v", i-1, i, a, b)
+		}
+	}
+	// Same multiset: every concatenated record appears exactly once.
+	seen := map[string]int{}
+	for _, r := range concat {
+		seen[fmt.Sprintf("%d/%d", r.Shard, r.Index)]++
+	}
+	for _, r := range merged {
+		seen[fmt.Sprintf("%d/%d", r.Shard, r.Index)]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("merge is not a permutation of the concatenation: %s count off by %d", k, v)
+		}
+	}
+
+	out := filepath.Join(dir, "merged.timeline")
+	if err := timeline.WriteFile(out, merged); err != nil {
+		t.Fatalf("write merged: %v", err)
+	}
+	back, err := timeline.Read(out)
+	if err != nil {
+		t.Fatalf("read merged: %v", err)
+	}
+	if len(back) != len(merged) {
+		t.Fatalf("merged file round trip: %d != %d", len(back), len(merged))
+	}
+}
+
+// TestObserverTimelineEndpoint golden-checks the /timeline endpoint and
+// the embedded dashboard against a completed walk campaign.
+func TestObserverTimelineEndpoint(t *testing.T) {
+	tc := campCases(t)[0]
+	opts := optsFor(ModeWalk, 2)
+	obs := NewObserver()
+	cfg := cfgFor(tc, opts, filepath.Join(t.TempDir(), "c.ckpt"))
+	cfg.CheckpointEvery = 100
+	cfg.Observer = obs
+	rep, err := Start(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if got := obs.TimelinePath(); got != cfg.timelinePath() {
+		t.Fatalf("observer timeline path = %q, want %q", got, cfg.timelinePath())
+	}
+
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+
+	getJSON := func(url string) []timeline.Record {
+		t.Helper()
+		res, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != 200 {
+			t.Fatalf("GET %s: %s", url, res.Status)
+		}
+		if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET %s content type = %q", url, ct)
+		}
+		var recs []timeline.Record
+		if err := json.NewDecoder(res.Body).Decode(&recs); err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	recs := getJSON(srv.URL + "/timeline")
+	// 300 sample runs at CheckpointEvery 100: samples at 100, 200 and the
+	// final done sample at 300.
+	if len(recs) != 3 {
+		t.Fatalf("/timeline returned %d samples, want 3: %+v", len(recs), recs)
+	}
+	for i, r := range recs {
+		if r.Schema != timeline.Schema {
+			t.Errorf("/timeline[%d] schema = %q", i, r.Schema)
+		}
+		if r.Index != int64(i) {
+			t.Errorf("/timeline[%d] index = %d", i, r.Index)
+		}
+		if r.Time == "" {
+			t.Errorf("/timeline[%d] has no timestamp", i)
+		}
+	}
+	last := recs[len(recs)-1]
+	if !last.Done || last.Runs != int64(opts.SampleRuns) || last.Classes != int64(rep.Classes) {
+		t.Errorf("/timeline final sample = %+v, want done with runs=%d classes=%d",
+			last, opts.SampleRuns, rep.Classes)
+	}
+	if last.Checkpoints != int64(rep.Checkpoints-1) {
+		t.Errorf("/timeline final sample checkpoints = %d, want %d (writes before the final one)",
+			last.Checkpoints, rep.Checkpoints-1)
+	}
+
+	tail := getJSON(srv.URL + "/timeline?since=2")
+	if len(tail) != 1 || tail[0].Index != 2 {
+		t.Errorf("/timeline?since=2 = %+v", tail)
+	}
+	if res, err := srv.Client().Get(srv.URL + "/timeline?since=x"); err != nil || res.StatusCode != 400 {
+		t.Errorf("/timeline?since=x status = %v err = %v, want 400", res.Status, err)
+	}
+
+	// The dashboard is embedded at / (and only at /).
+	res, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Errorf("/ content type = %q", ct)
+	}
+	for _, marker := range []string{"<!DOCTYPE html>", "Coverage growth", "timeline?since=", "fetch(\"status\")"} {
+		if !strings.Contains(body, marker) {
+			t.Errorf("dashboard missing %q", marker)
+		}
+	}
+	if res, err := srv.Client().Get(srv.URL + "/nope"); err != nil || res.StatusCode != 404 {
+		t.Errorf("GET /nope = %v err = %v, want 404", res.Status, err)
+	}
+}
+
+// TestObserverTimelineBeforeAttach: an unattached observer (or one
+// observing a campaign without a sidecar yet) serves an empty series,
+// not an error.
+func TestObserverTimelineBeforeAttach(t *testing.T) {
+	obs := NewObserver()
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var recs []timeline.Record
+	if err := json.NewDecoder(res.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("unattached /timeline = %+v", recs)
+	}
+}
+
+// TestStartDropsStaleTimeline: a fresh Start must not extend a previous
+// campaign's sidecar series.
+func TestStartDropsStaleTimeline(t *testing.T) {
+	tc := campCases(t)[0]
+	opts := optsFor(ModeWalk, 2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+
+	cfg := cfgFor(tc, opts, path)
+	cfg.CheckpointEvery = 100
+	cfg.Observer = NewObserver()
+	if _, err := Start(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	first, err := timeline.Read(cfg.timelinePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = NewObserver()
+	if _, err := Start(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	second, err := timeline.Read(cfg.timelinePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != len(first) || second[0].Index != 0 {
+		t.Fatalf("restarted campaign timeline = %+v, want a fresh series like %+v", second, first)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/sched"
 	"repro/internal/tasks"
+	"repro/internal/timeline"
 )
 
 // CampaignRow is one line of the campaign-resilience experiment: one
@@ -24,6 +25,7 @@ type CampaignRow struct {
 	Schedules int // uninterrupted reference count
 	Classes   int // sampling coverage (0 outside the sampling modes)
 	Resumes   int // kill/resume cycles the interrupted campaign needed
+	Samples   int // timeline samples the kill/resume chain appended
 	Match     bool
 }
 
@@ -83,6 +85,7 @@ func CampaignExperiment(n, workers, sampleRuns int) ([]CampaignRow, error) {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		cfg.OnCheckpoint = func(campaign.Header) { cancel() }
+		cfg.Observer = campaign.NewObserver() // a fresh observer per life, like the CLI
 		rep, rerr := campaign.Start(ctx, cfg)
 		cancel()
 		for errors.Is(rerr, campaign.ErrPaused) {
@@ -91,12 +94,34 @@ func CampaignExperiment(n, workers, sampleRuns int) ([]CampaignRow, error) {
 				return nil, fmt.Errorf("harness: campaign %s failed to finish", m.mode)
 			}
 			cfg.OnCheckpoint = nil
+			cfg.Observer = campaign.NewObserver()
 			rep, rerr = campaign.Resume(context.Background(), cfg)
 		}
 		if rerr != nil {
 			return nil, fmt.Errorf("harness: campaign %s: %w", m.mode, rerr)
 		}
 		resumedOK := rep.Schedules == refCount && rep.Classes == row.Classes
+
+		// Timeline continuity: across every kill/resume life the sidecar
+		// must hold one gapless sample series ending done — the observable
+		// form of the "kill/resume is invisible" guarantee.
+		recs, terr := timeline.Read(timeline.SidecarPath(cfg.Path))
+		if terr != nil {
+			return nil, fmt.Errorf("harness: campaign %s timeline: %w", m.mode, terr)
+		}
+		row.Samples = len(recs)
+		timelineOK := len(recs) > 0
+		for i, rec := range recs {
+			if rec.Index != int64(i) {
+				timelineOK = false
+			}
+		}
+		if timelineOK {
+			last := recs[len(recs)-1]
+			// Runs counts executed budget slots, so it can exceed the
+			// verified-schedule count under reduction but never trail it.
+			timelineOK = last.Done && last.Runs >= int64(refCount)
+		}
 
 		// 3-way shard split, merged.
 		const shards = 3
@@ -116,7 +141,7 @@ func CampaignExperiment(n, workers, sampleRuns int) ([]CampaignRow, error) {
 		if merr != nil {
 			return nil, fmt.Errorf("harness: campaign %s merge: %w", m.mode, merr)
 		}
-		row.Match = resumedOK && merged.Schedules == refCount && merged.Classes == row.Classes
+		row.Match = resumedOK && timelineOK && merged.Schedules == refCount && merged.Classes == row.Classes
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -126,13 +151,13 @@ func CampaignExperiment(n, workers, sampleRuns int) ([]CampaignRow, error) {
 func CampaignText(rows []CampaignRow) string {
 	var b strings.Builder
 	b.WriteString("Durable campaigns: kill/resume and 3-shard merge reproduce the uninterrupted run\n")
-	b.WriteString("  mode         n  schedules  classes  resumes  match\n")
+	b.WriteString("  mode         n  schedules  classes  resumes  samples  match\n")
 	for _, r := range rows {
 		match := "OK"
 		if !r.Match {
 			match = "MISMATCH"
 		}
-		fmt.Fprintf(&b, "  %-11s %2d  %9d  %7d  %7d  %s\n", r.Mode, r.N, r.Schedules, r.Classes, r.Resumes, match)
+		fmt.Fprintf(&b, "  %-11s %2d  %9d  %7d  %7d  %7d  %s\n", r.Mode, r.N, r.Schedules, r.Classes, r.Resumes, r.Samples, match)
 	}
 	return b.String()
 }

@@ -263,6 +263,9 @@ func TestCampaignExperiment(t *testing.T) {
 		if r.Schedules == 0 {
 			t.Errorf("%s: no schedules verified: %+v", r.Mode, r)
 		}
+		if r.Samples < 2 {
+			t.Errorf("%s: kill/resume chain appended %d timeline samples, want a multi-sample series", r.Mode, r.Samples)
+		}
 	}
 	text := CampaignText(rows)
 	if !strings.Contains(text, "kill/resume") || !strings.Contains(text, "OK") || strings.Contains(text, "MISMATCH") {

@@ -1,0 +1,216 @@
+// Package profdiff explains performance regressions: it parses pprof
+// CPU profiles (the gzipped profile.proto files gsbbench commits under
+// profiles/) with a minimal stdlib-only protobuf decoder, attributes
+// each sample's value to its innermost frame, and diffs the per-function
+// flat totals of a current profile against a baseline — so a failed
+// `gsbbench -compare` gate can name the suspect hot path instead of just
+// the regressed number.
+//
+// The decoder understands exactly the slice of profile.proto the diff
+// needs — sample types, samples, locations, functions, the string
+// table — and ignores every other field, so it stays a few hundred lines
+// with no dependency on the pprof module.
+package profdiff
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Profile is the flat-value view of one pprof profile.
+type Profile struct {
+	// SampleTypes are the profile's value dimensions ("samples/count",
+	// "cpu/nanoseconds", ...); ValueIndex is the dimension Flat sums —
+	// the cpu/nanoseconds column when present, the last column otherwise
+	// (pprof's own default).
+	SampleTypes []ValueType
+	ValueIndex  int
+	// Flat maps function name → value attributed to samples whose
+	// innermost frame is that function. Total is the sum over all
+	// samples.
+	Flat  map[string]int64
+	Total int64
+}
+
+// ValueType is one sample value dimension.
+type ValueType struct {
+	Type string // e.g. "cpu"
+	Unit string // e.g. "nanoseconds"
+}
+
+// Unit is the unit of the diffed value dimension.
+func (p *Profile) Unit() string {
+	if p.ValueIndex < len(p.SampleTypes) {
+		return p.SampleTypes[p.ValueIndex].Unit
+	}
+	return ""
+}
+
+// ParseFile reads a pprof profile from disk (gzipped or raw proto).
+func ParseFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("profdiff: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Parse decodes a pprof profile. The stream may be gzip-compressed (the
+// standard on-disk form) or a bare profile.proto message.
+func Parse(r io.Reader) (*Profile, error) {
+	br := &peekReader{r: r}
+	magic, err := br.peek2()
+	if err != nil {
+		return nil, fmt.Errorf("read profile: %w", err)
+	}
+	var src io.Reader = br
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("gunzip profile: %w", err)
+		}
+		defer gz.Close()
+		src = gz
+	}
+	raw, err := io.ReadAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("read profile: %w", err)
+	}
+	return decodeProfile(raw)
+}
+
+// Delta is one function's flat-value change between two profiles,
+// normalized to fractions of each profile's total so profiles of
+// different durations compare meaningfully.
+type Delta struct {
+	Func string
+	// Base/Cur are the function's flat share of its profile's total, in
+	// [0, 1]; Diff = Cur - Base (positive: the function grew).
+	Base, Cur, Diff float64
+	// BaseVal/CurVal are the raw flat values (profile units).
+	BaseVal, CurVal int64
+}
+
+// Diff compares per-function flat shares of cur against base and
+// returns every function whose share moved, largest absolute change
+// first. Functions absent from one profile count as zero there.
+func Diff(base, cur *Profile) []Delta {
+	names := map[string]bool{}
+	for f := range base.Flat {
+		names[f] = true
+	}
+	for f := range cur.Flat {
+		names[f] = true
+	}
+	share := func(p *Profile, f string) float64 {
+		if p.Total == 0 {
+			return 0
+		}
+		return float64(p.Flat[f]) / float64(p.Total)
+	}
+	var out []Delta
+	for f := range names {
+		d := Delta{
+			Func: f,
+			Base: share(base, f), Cur: share(cur, f),
+			BaseVal: base.Flat[f], CurVal: cur.Flat[f],
+		}
+		d.Diff = d.Cur - d.Base
+		if d.Diff != 0 {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := abs(out[i].Diff), abs(out[j].Diff)
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Func < out[j].Func // deterministic order on ties
+	})
+	return out
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Format renders the top n deltas as an aligned explanation table,
+// growth first — the text gsbbench prints under a failed regression
+// gate. Returns "" when there is nothing to explain.
+func Format(deltas []Delta, n int) string {
+	if len(deltas) == 0 {
+		return ""
+	}
+	if n > 0 && len(deltas) > n {
+		deltas = deltas[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "    %-52s %9s %9s %9s\n", "function (flat)", "base", "current", "delta")
+	for _, d := range deltas {
+		name := d.Func
+		if len(name) > 52 {
+			name = "…" + name[len(name)-51:]
+		}
+		fmt.Fprintf(&b, "    %-52s %8.2f%% %8.2f%% %+8.2f%%\n",
+			name, 100*d.Base, 100*d.Cur, 100*d.Diff)
+	}
+	return b.String()
+}
+
+// Explain parses two profile files and renders the top-n flat-time
+// deltas — the one-call form gsbbench uses per regressed entry.
+func Explain(basePath, curPath string, n int) (string, error) {
+	base, err := ParseFile(basePath)
+	if err != nil {
+		return "", err
+	}
+	cur, err := ParseFile(curPath)
+	if err != nil {
+		return "", err
+	}
+	if base.Total == 0 || cur.Total == 0 {
+		return "", errors.New("profdiff: profile has no samples to attribute")
+	}
+	return Format(Diff(base, cur), n), nil
+}
+
+// peekReader lets Parse sniff the gzip magic without losing bytes.
+type peekReader struct {
+	r      io.Reader
+	buf    [2]byte
+	n      int // buffered bytes not yet returned
+	peeked bool
+}
+
+func (p *peekReader) peek2() ([]byte, error) {
+	if !p.peeked {
+		if _, err := io.ReadFull(p.r, p.buf[:]); err != nil {
+			return nil, err
+		}
+		p.n = 2
+		p.peeked = true
+	}
+	return p.buf[:], nil
+}
+
+func (p *peekReader) Read(b []byte) (int, error) {
+	if p.n > 0 {
+		k := copy(b, p.buf[2-p.n:])
+		p.n -= k
+		return k, nil
+	}
+	return p.r.Read(b)
+}

@@ -1,0 +1,182 @@
+package profdiff
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The committed fixture pair (testdata/gen regenerates them): base has
+// hotStep at 40% of cpu time, regressed at 70% — with decideSlot
+// improving, so the diff carries both signs.
+const (
+	baseFixture      = "testdata/base.pprof"
+	regressedFixture = "testdata/regressed.pprof"
+)
+
+func TestParseFixture(t *testing.T) {
+	p, err := ParseFile(baseFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SampleTypes) != 2 || p.SampleTypes[1].Type != "cpu" || p.SampleTypes[1].Unit != "nanoseconds" {
+		t.Fatalf("sample types = %+v", p.SampleTypes)
+	}
+	if p.ValueIndex != 1 || p.Unit() != "nanoseconds" {
+		t.Fatalf("value index %d unit %q, want the cpu dimension", p.ValueIndex, p.Unit())
+	}
+	if p.Total != 1000 {
+		t.Fatalf("base total = %d, want 1000", p.Total)
+	}
+	if got := p.Flat["repro/internal/sched.(*runner).hotStep"]; got != 400 {
+		t.Fatalf("hotStep flat = %d, want 400", got)
+	}
+}
+
+// TestDiffGolden pins the full explanation for the committed fixture
+// pair: the exact deltas, their order (largest absolute move first,
+// regression leading) and the rendered table.
+func TestDiffGolden(t *testing.T) {
+	base, err := ParseFile(baseFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ParseFile(regressedFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas := Diff(base, cur)
+	want := []struct {
+		fn   string
+		diff float64
+	}{
+		{"repro/internal/sched.(*runner).hotStep", 0.30},     // 40% -> 70%
+		{"repro/internal/sched.(*runner).decideSlot", -0.20}, // 30% -> 10%
+		{"repro/internal/mem.(*TaskBox).Read", -0.075},       // 20% -> 12.5%
+		{"repro/internal/sched.(*frontier).pop", -0.025},     // 10% -> 7.5%
+	}
+	if len(deltas) != len(want) {
+		t.Fatalf("%d deltas, want %d: %+v", len(deltas), len(want), deltas)
+	}
+	for i, w := range want {
+		d := deltas[i]
+		if d.Func != w.fn {
+			t.Errorf("delta[%d] = %s, want %s", i, d.Func, w.fn)
+		}
+		if diff := d.Diff - w.diff; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("delta[%d] %s diff = %v, want %v", i, d.Func, d.Diff, w.diff)
+		}
+	}
+
+	out, err := Explain(baseFixture, regressedFixture, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		"function (flat)",
+		"repro/internal/sched.(*runner).hotStep",
+		"+30.00%",
+		"-20.00%",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("explanation missing %q:\n%s", line, out)
+		}
+	}
+	// Top-1 truncation keeps only the regression line.
+	top1, err := Explain(baseFixture, regressedFixture, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(top1, "decideSlot") || !strings.Contains(top1, "hotStep") {
+		t.Errorf("top-1 explanation wrong:\n%s", top1)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	p, err := ParseFile(baseFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas := Diff(p, p); len(deltas) != 0 {
+		t.Fatalf("self-diff = %+v, want empty", deltas)
+	}
+	if out := Format(nil, 10); out != "" {
+		t.Fatalf("empty format = %q", out)
+	}
+}
+
+// TestParseCommittedProfiles: every real baseline profile under
+// profiles/ must parse — these are genuine Go runtime pprof outputs, so
+// this is the compatibility test for the minimal decoder.
+func TestParseCommittedProfiles(t *testing.T) {
+	paths, err := filepath.Glob("../../profiles/*.pprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no committed baseline profiles")
+	}
+	for _, path := range paths {
+		p, err := ParseFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(p.SampleTypes) == 0 {
+			t.Errorf("%s: no sample types", path)
+		}
+		// A profile may legitimately be empty (sub-millisecond bench),
+		// but a non-empty one must attribute every sampled value.
+		var flat int64
+		for _, v := range p.Flat {
+			flat += v
+		}
+		if flat != p.Total {
+			t.Errorf("%s: flat sum %d != total %d", path, flat, p.Total)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(bytes.NewReader([]byte{0xff, 0xff, 0xff})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Parse(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Valid gzip wrapping garbage proto.
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write([]byte{0x0a}) // field 1 wire 2, then truncated
+	gz.Close()
+	if _, err := Parse(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("truncated proto accepted")
+	}
+}
+
+func TestParseUncompressed(t *testing.T) {
+	// The decoder accepts a bare (non-gzipped) proto stream too.
+	raw, err := os.ReadFile(baseFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(bytes.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 1000 {
+		t.Fatalf("uncompressed parse total = %d", p.Total)
+	}
+}

@@ -1,0 +1,373 @@
+package profdiff
+
+// Minimal protobuf wire-format decoding for the slice of pprof's
+// profile.proto the diff needs. Field numbers (profile.proto):
+//
+//	Profile:  sample_type=1  sample=2  location=4  function=5  string_table=6
+//	ValueType: type=1 unit=2            (string-table indices)
+//	Sample:   location_id=1 value=2     (repeated; packed or not)
+//	Location: id=1 line=4
+//	Line:     function_id=1
+//	Function: id=1 name=2               (name: string-table index)
+//
+// Everything else is skipped by wire type. Samples attribute their value
+// to the innermost frame: the first location id's first line's function.
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errTruncated = errors.New("truncated protobuf message")
+
+// wire types
+const (
+	wireVarint = 0
+	wireFix64  = 1
+	wireBytes  = 2
+	wireFix32  = 5
+)
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.data) }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.data) {
+			return 0, errTruncated
+		}
+		b := d.data[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("varint overflows 64 bits")
+}
+
+// key reads the next field key and returns (field number, wire type).
+func (d *decoder) key() (int, int, error) {
+	k, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(k >> 3), int(k & 7), nil
+}
+
+// bytes reads a length-delimited payload.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.data)-d.pos) {
+		return nil, errTruncated
+	}
+	b := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// skip discards a field of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wireFix64:
+		if len(d.data)-d.pos < 8 {
+			return errTruncated
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.bytes()
+		return err
+	case wireFix32:
+		if len(d.data)-d.pos < 4 {
+			return errTruncated
+		}
+		d.pos += 4
+		return nil
+	}
+	return fmt.Errorf("unsupported wire type %d", wire)
+}
+
+// uints reads a repeated uint64 field occurrence: either one varint or a
+// packed run, appending to dst.
+func uints(d *decoder, wire int, dst []uint64) ([]uint64, error) {
+	if wire == wireVarint {
+		v, err := d.varint()
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, v), nil
+	}
+	if wire != wireBytes {
+		return dst, fmt.Errorf("repeated varint field with wire type %d", wire)
+	}
+	raw, err := d.bytes()
+	if err != nil {
+		return dst, err
+	}
+	pd := &decoder{data: raw}
+	for !pd.done() {
+		v, err := pd.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// rawSample is one decoded Sample: innermost location plus values.
+type rawSample struct {
+	locs   []uint64
+	values []int64
+}
+
+func decodeProfile(raw []byte) (*Profile, error) {
+	var (
+		sampleTypes [][]byte // deferred: need the string table first
+		samples     []rawSample
+		locFunc     = map[uint64]uint64{} // location id → innermost function id
+		funcName    = map[uint64]int64{}  // function id → string index
+		strtab      []string
+	)
+	d := &decoder{data: raw}
+	for !d.done() {
+		field, wire, err := d.key()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1, 2, 4, 5: // submessages
+			if wire != wireBytes {
+				return nil, fmt.Errorf("profile field %d: wire type %d", field, wire)
+			}
+			msg, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			switch field {
+			case 1:
+				sampleTypes = append(sampleTypes, msg)
+			case 2:
+				s, err := decodeSample(msg)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, s)
+			case 4:
+				id, fn, err := decodeLocation(msg)
+				if err != nil {
+					return nil, err
+				}
+				locFunc[id] = fn
+			case 5:
+				id, name, err := decodeFunction(msg)
+				if err != nil {
+					return nil, err
+				}
+				funcName[id] = name
+			}
+		case 6:
+			if wire != wireBytes {
+				return nil, fmt.Errorf("string_table: wire type %d", wire)
+			}
+			s, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(s))
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i >= 0 && i < int64(len(strtab)) {
+			return strtab[i]
+		}
+		return fmt.Sprintf("?str%d", i)
+	}
+
+	p := &Profile{Flat: map[string]int64{}}
+	for _, msg := range sampleTypes {
+		ti, ui, err := decodeValueType(msg)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(ti), Unit: str(ui)})
+	}
+	// Diff the cpu/nanoseconds dimension when present, else the last one.
+	p.ValueIndex = len(p.SampleTypes) - 1
+	for i, st := range p.SampleTypes {
+		if st.Type == "cpu" {
+			p.ValueIndex = i
+			break
+		}
+	}
+	if p.ValueIndex < 0 {
+		p.ValueIndex = 0
+	}
+
+	for _, s := range samples {
+		if p.ValueIndex >= len(s.values) || len(s.locs) == 0 {
+			continue
+		}
+		v := s.values[p.ValueIndex]
+		name := "?unknown"
+		if fn, ok := locFunc[s.locs[0]]; ok {
+			name = str(funcName[fn])
+		}
+		p.Flat[name] += v
+		p.Total += v
+	}
+	return p, nil
+}
+
+func decodeValueType(raw []byte) (typ, unit int64, err error) {
+	d := &decoder{data: raw}
+	for !d.done() {
+		field, wire, err := d.key()
+		if err != nil {
+			return 0, 0, err
+		}
+		if (field == 1 || field == 2) && wire == wireVarint {
+			v, err := d.varint()
+			if err != nil {
+				return 0, 0, err
+			}
+			if field == 1 {
+				typ = int64(v)
+			} else {
+				unit = int64(v)
+			}
+			continue
+		}
+		if err := d.skip(wire); err != nil {
+			return 0, 0, err
+		}
+	}
+	return typ, unit, nil
+}
+
+func decodeSample(raw []byte) (rawSample, error) {
+	var s rawSample
+	d := &decoder{data: raw}
+	for !d.done() {
+		field, wire, err := d.key()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case 1:
+			if s.locs, err = uints(d, wire, s.locs); err != nil {
+				return s, err
+			}
+		case 2:
+			var vals []uint64
+			if vals, err = uints(d, wire, nil); err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.values = append(s.values, int64(v))
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func decodeLocation(raw []byte) (id, funcID uint64, err error) {
+	d := &decoder{data: raw}
+	first := true
+	for !d.done() {
+		field, wire, err := d.key()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch {
+		case field == 1 && wire == wireVarint:
+			if id, err = d.varint(); err != nil {
+				return 0, 0, err
+			}
+		case field == 4 && wire == wireBytes:
+			msg, err := d.bytes()
+			if err != nil {
+				return 0, 0, err
+			}
+			// The first Line entry is the innermost (post-inlining) frame.
+			if first {
+				if funcID, err = decodeLine(msg); err != nil {
+					return 0, 0, err
+				}
+				first = false
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return id, funcID, nil
+}
+
+func decodeLine(raw []byte) (funcID uint64, err error) {
+	d := &decoder{data: raw}
+	for !d.done() {
+		field, wire, err := d.key()
+		if err != nil {
+			return 0, err
+		}
+		if field == 1 && wire == wireVarint {
+			if funcID, err = d.varint(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := d.skip(wire); err != nil {
+			return 0, err
+		}
+	}
+	return funcID, nil
+}
+
+func decodeFunction(raw []byte) (id uint64, name int64, err error) {
+	d := &decoder{data: raw}
+	for !d.done() {
+		field, wire, err := d.key()
+		if err != nil {
+			return 0, 0, err
+		}
+		if (field == 1 || field == 2) && wire == wireVarint {
+			v, err := d.varint()
+			if err != nil {
+				return 0, 0, err
+			}
+			if field == 1 {
+				id = v
+			} else {
+				name = int64(v)
+			}
+			continue
+		}
+		if err := d.skip(wire); err != nil {
+			return 0, 0, err
+		}
+	}
+	return id, name, nil
+}

@@ -1,0 +1,164 @@
+// Command gen writes the two committed profdiff fixture profiles:
+// base.pprof and regressed.pprof, a pair of tiny synthetic CPU profiles
+// whose hand-chosen flat distributions shift between base and regressed
+// (hotStep grows from 40% to 70% of total), so the diff golden is exact
+// and human-checkable. Run from the repository root:
+//
+//	go run ./internal/profdiff/testdata/gen
+//
+// The encoder below is the write-side mirror of the decoder in
+// internal/profdiff/proto.go and exercises both packed and unpacked
+// repeated encodings, which real pprof writers are free to mix.
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+func varint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func key(b []byte, field, wire int) []byte {
+	return varint(b, uint64(field)<<3|uint64(wire))
+}
+
+func msg(b []byte, field int, sub []byte) []byte {
+	b = key(b, field, 2)
+	b = varint(b, uint64(len(sub)))
+	return append(b, sub...)
+}
+
+// frame is one leaf function with its cpu time in each profile.
+type frame struct {
+	name      string
+	base, cur int64 // nanoseconds
+}
+
+// The synthetic hot paths: hotStep regresses hard, decideSlot improves,
+// the rest barely move. Names mimic the repository's real hot path so
+// the golden output reads like a real explanation.
+var frames = []frame{
+	{"repro/internal/sched.(*runner).hotStep", 400, 1400},
+	{"repro/internal/sched.(*runner).decideSlot", 300, 200},
+	{"repro/internal/mem.(*TaskBox).Read", 200, 250},
+	{"repro/internal/sched.(*frontier).pop", 100, 150},
+}
+
+// encode builds one gzipped profile.proto with sample_type
+// [samples/count, cpu/nanoseconds] and one sample per frame.
+func encode(pick func(frame) int64, packed bool) []byte {
+	// String table; index 0 must be "".
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds"}
+	idx := map[string]int64{}
+	for i, s := range strs {
+		idx[s] = int64(i)
+	}
+	intern := func(s string) int64 {
+		if i, ok := idx[s]; ok {
+			return i
+		}
+		idx[s] = int64(len(strs))
+		strs = append(strs, s)
+		return idx[s]
+	}
+
+	var p []byte
+	// sample_type: samples/count, cpu/nanoseconds
+	for _, st := range [][2]string{{"samples", "count"}, {"cpu", "nanoseconds"}} {
+		var vt []byte
+		vt = key(vt, 1, 0)
+		vt = varint(vt, uint64(idx[st[0]]))
+		vt = key(vt, 2, 0)
+		vt = varint(vt, uint64(idx[st[1]]))
+		p = msg(p, 1, vt)
+	}
+	for i, f := range frames {
+		fid := uint64(i + 1)
+		// function: id + name
+		var fn []byte
+		fn = key(fn, 1, 0)
+		fn = varint(fn, fid)
+		fn = key(fn, 2, 0)
+		fn = varint(fn, uint64(intern(f.name)))
+		p = msg(p, 5, fn)
+		// location: id + one line pointing at the function
+		var line []byte
+		line = key(line, 1, 0)
+		line = varint(line, fid)
+		var loc []byte
+		loc = key(loc, 1, 0)
+		loc = varint(loc, fid)
+		loc = msg(loc, 4, line)
+		p = msg(p, 4, loc)
+		// sample: the frame as innermost location, values [1, ns]
+		var s []byte
+		ns := pick(f)
+		if packed {
+			var locs, vals []byte
+			locs = varint(locs, fid)
+			s = msg(s, 1, locs)
+			vals = varint(vals, 1)
+			vals = varint(vals, uint64(ns))
+			s = msg(s, 2, vals)
+		} else {
+			s = key(s, 1, 0)
+			s = varint(s, fid)
+			s = key(s, 2, 0)
+			s = varint(s, 1)
+			s = key(s, 2, 0)
+			s = varint(s, uint64(ns))
+		}
+		p = msg(p, 2, s)
+	}
+	for _, s := range strs {
+		var b []byte
+		b = key(b, 6, 2)
+		b = varint(b, uint64(len(s)))
+		b = append(b, s...)
+		p = append(p, b...)
+	}
+
+	var out bytes.Buffer
+	gz, _ := gzip.NewWriterLevel(&out, gzip.BestCompression)
+	if _, err := gz.Write(p); err != nil {
+		panic(err)
+	}
+	if err := gz.Close(); err != nil {
+		panic(err)
+	}
+	return out.Bytes()
+}
+
+func main() {
+	dir := "internal/profdiff/testdata"
+	if _, err := os.Stat(dir); err != nil {
+		fmt.Fprintln(os.Stderr, "run from the repository root:", err)
+		os.Exit(1)
+	}
+	// base uses packed repeated encoding, regressed unpacked: the decoder
+	// must accept both.
+	for _, f := range []struct {
+		name   string
+		pick   func(frame) int64
+		packed bool
+	}{
+		{"base.pprof", func(f frame) int64 { return f.base }, true},
+		{"regressed.pprof", func(f frame) int64 { return f.cur }, false},
+	} {
+		path := filepath.Join(dir, f.name)
+		if err := os.WriteFile(path, encode(f.pick, f.packed), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

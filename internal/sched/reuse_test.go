@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // waitGoroutines polls until the live goroutine count drops back to at
@@ -142,6 +144,48 @@ func TestReusedRunnerAllocsPerStep(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, runOnce)
 	if allocs != 0 {
 		t.Fatalf("reused runner allocates %.2f allocs/run (%.4f allocs/step), want 0", allocs, allocs/float64(steps))
+	}
+}
+
+// TestReusedRunnerAllocsPerStepWithStats is the observability variant of
+// the pinned zero-allocation bound: re-executing a run on a reused
+// runner while publishing the engine metrics a live campaign consumes —
+// the run/schedule counters and the frontier gauge, per run — must still
+// allocate nothing. This is what keeps the timeline feature free on the
+// hot path: the sampler only reads the registry at checkpoint
+// boundaries, and the publishing side it rides on is allocation-free.
+func TestReusedRunnerAllocsPerStepWithStats(t *testing.T) {
+	const n, k = 4, 8
+	counter := 0
+	op := func() any { counter++; return nil }
+	body := func(p *Proc) {
+		for i := 0; i < k; i++ {
+			p.Exec("inc", op)
+		}
+		p.Decide(1)
+	}
+	reg := stats.New()
+	m := newEngineMetrics(reg)
+	r := NewRunner(n, DefaultIDs(n), nil, WithReuse())
+	defer r.Close()
+	rr := NewRoundRobin()
+	runOnce := func() {
+		rr.last = -1
+		r.Reset(rr)
+		if _, err := r.Run(body); err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		m.incRuns()
+		m.incSchedules()
+		m.setFrontier(int64(counter & 0xff))
+	}
+	runOnce() // warm-up
+	allocs := testing.AllocsPerRun(200, runOnce)
+	if allocs != 0 {
+		t.Fatalf("reused runner with stats publishing allocates %.2f allocs/run, want 0", allocs)
+	}
+	if got := reg.Snapshot().Counter(MetricRuns); got < 200 {
+		t.Fatalf("runs counter = %d after the measured batch, want >= 200", got)
 	}
 }
 
