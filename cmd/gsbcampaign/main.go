@@ -16,6 +16,14 @@
 // per interleaving / trace class), walk, pct (statistical sampling of
 // -runs schedules), crash (randomized crash sweep of -runs runs).
 //
+// The execution model is a campaign axis (docs/models.md): -model picks
+// the memory model the shared registers and snapshots execute under
+// (atomic, regular, safe, stale-snapshot) and -adversary picks the
+// crash-sweep strategy (uniform-crash, t-resilient, adaptive; crash mode
+// only). Both are part of the snapshot's options hash: shards of one
+// campaign must agree on them, and resuming under a changed model or
+// adversary fails loudly.
+//
 // Observability (docs/metrics.md): start and resume take -metrics ADDR
 // (serve a live HTML coverage dashboard at /, Prometheus /metrics, a
 // gsbstatus/v1 JSON /status endpoint, and the gsbtimeline/v1 series at
@@ -130,9 +138,24 @@ func parseShard(s string) (int, int, error) {
 	return shard, of, nil
 }
 
-// optionsForMode builds the campaign's exploration options.
-func optionsForMode(mode string, runs, pctDepth, workers, maxRuns, maxSteps int, seed int64, crashProb float64) (repro.ExploreOptions, error) {
+// optionsForMode builds the campaign's exploration options. model and
+// adversary are registry names (repro.MemModels, repro.Adversaries);
+// empty means the default. Both are validated here so a typo is a usage
+// error before any snapshot file is touched, and both become part of the
+// snapshot's options hash — a resume under a changed model fails loudly.
+func optionsForMode(mode string, runs, pctDepth, workers, maxRuns, maxSteps int, seed int64, crashProb float64, model, adversary string) (repro.ExploreOptions, error) {
 	opts := repro.ExploreOptions{Workers: workers, Seed: seed, MaxRuns: maxRuns, MaxSteps: maxSteps}
+	if _, err := repro.MemModelByName(model); err != nil {
+		return opts, err
+	}
+	if _, err := repro.AdversaryByName(adversary); err != nil {
+		return opts, err
+	}
+	if adversary != "" && mode != "crash" {
+		return opts, fmt.Errorf("-adversary selects a crash-sweep strategy and needs -mode crash, got -mode %s", mode)
+	}
+	opts.Model = model
+	opts.Adversary = adversary
 	switch mode {
 	case "exhaustive":
 	case "por":
@@ -221,6 +244,8 @@ func cmdStart(args []string) int {
 	runs := fs.Int("runs", 0, "sampled/swept runs (walk, pct and crash modes)")
 	pctDepth := fs.Int("pct-depth", 0, "PCT bug depth (pct mode; 0 = default)")
 	crashProb := fs.Float64("crash", 0.05, "per-decision crash probability (crash mode)")
+	model := fs.String("model", "", "memory model for shared registers/snapshots (empty = atomic; see gsbrun -model)")
+	adversary := fs.String("adversary", "", "crash adversary for crash mode (empty = uniform-crash; see gsbrun -adversary)")
 	seed := fs.Int64("seed", 1, "campaign seed (oracle draws and per-run schedule seeds)")
 	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	maxRuns := fs.Int("maxruns", 0, "exploration run budget (0 = default)")
@@ -246,7 +271,7 @@ func cmdStart(args []string) int {
 		fmt.Fprintf(os.Stderr, "gsbcampaign start: %v\n", err)
 		return exitUsage
 	}
-	opts, err := optionsForMode(*mode, *runs, *pctDepth, *workers, *maxRuns, *maxSteps, *seed, *crashProb)
+	opts, err := optionsForMode(*mode, *runs, *pctDepth, *workers, *maxRuns, *maxSteps, *seed, *crashProb, *model, *adversary)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gsbcampaign start: %v\n", err)
 		return exitUsage

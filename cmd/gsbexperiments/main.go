@@ -18,7 +18,25 @@ func main() {
 	full := flag.Bool("full", false, "run the larger, slower sweeps")
 	workers := flag.Int("workers", 0, "exploration worker goroutines (0 = GOMAXPROCS)")
 	por := flag.Bool("por", false, "partial-order reduction for the exhaustive exploration experiment (one schedule per commuting-step class)")
+	model := flag.String("model", "", "restrict the model-matrix experiment to one memory model (empty = all registered; see docs/models.md)")
+	adversary := flag.String("adversary", "", "restrict the model-matrix experiment to one crash adversary (empty = all registered)")
 	flag.Parse()
+
+	if _, err := repro.MemModelByName(*model); err != nil {
+		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := repro.AdversaryByName(*adversary); err != nil {
+		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+		os.Exit(2)
+	}
+	var matrixModels, matrixAdvs []string
+	if *model != "" {
+		matrixModels = []string{*model}
+	}
+	if *adversary != "" {
+		matrixAdvs = []string{*adversary}
+	}
 
 	fmt.Println("== Table 1: kernels of the <6,3,-,-> family ==")
 	fmt.Print(repro.Table1(6, 3))
@@ -86,12 +104,36 @@ func main() {
 	if *full {
 		campaignRuns = 2000
 	}
-	campRows, err := repro.CampaignExperiment(3, *workers, campaignRuns)
+	campRows, err := repro.CampaignExperiment(3, *workers, campaignRuns, "", "")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Print(repro.CampaignText(campRows))
+
+	// The same differentials under a non-default execution model: weak
+	// registers (regular) everywhere and a biased crash adversary
+	// (t-resilient) for the sweep. Kill/resume and shard-merge must be as
+	// invisible here as under the defaults.
+	fmt.Println("  (again with model=regular, adversary=t-resilient)")
+	campRows, err = repro.CampaignExperiment(3, *workers, campaignRuns, repro.ModelRegular, repro.AdversaryTResilient)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(repro.CampaignText(campRows))
+
+	fmt.Println("\n== Model matrix: memory models x adversaries as an experimental axis ==")
+	matrixSample, matrixCrash := 8000, 60
+	if *full {
+		matrixSample, matrixCrash = 20000, 200
+	}
+	matrix, err := repro.ModelMatrixExperiment(*workers, matrixSample, matrixCrash, matrixModels, matrixAdvs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(repro.ModelMatrixText(matrix))
 
 	fmt.Println("\n== Theorem 8: universality of perfect renaming ==")
 	nMax := 6
@@ -198,6 +240,17 @@ func main() {
 		}
 		fmt.Printf("  Cole-Vishkin ring %d: 3-colored in %d rounds\n", n, res.Rounds)
 	}
+	// The same deterministic baseline under the message adversary: the
+	// synchronizer repairs loss/delay/reordering by retransmission, so the
+	// coloring is unchanged and only the round count grows.
+	netAdv := &repro.NetAdversary{Seed: 7, LossProb: 0.15, DelayProb: 0.1, ReorderProb: 0.1}
+	advRes, err := repro.RingThreeColorUnder(64, 4000, netAdv)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsbexperiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  Cole-Vishkin ring 64 under loss=%.2f delay=%.2f reorder=%.2f: 3-colored in %d rounds\n",
+		netAdv.LossProb, netAdv.DelayProb, netAdv.ReorderProb, advRes.Rounds)
 	if failures > 0 || disagree > 0 {
 		os.Exit(1)
 	}

@@ -28,6 +28,12 @@
 // worker count, and a failing run is reported with a derived seed that
 // replays it.
 //
+// -model selects the memory model mediating register and snapshot
+// semantics (atomic, regular, safe, stale-snapshot; docs/models.md) and
+// applies in every mode; -adversary selects the crash-sweep strategy
+// (uniform-crash, t-resilient, adaptive) and needs -explore -crash > 0.
+// Unknown names are usage errors listing the registered set.
+//
 // Protocols:
 //
 //	renaming       snapshot-based adaptive (2n-1)-renaming
@@ -67,6 +73,10 @@ type record struct {
 	N        int    `json:"n"`
 	Seed     int64  `json:"seed"`
 	Workers  int    `json:"workers,omitempty"`
+	// Model and Adversary name the execution model (docs/models.md);
+	// absent means the defaults (atomic registers, uniform crashes).
+	Model     string `json:"model,omitempty"`
+	Adversary string `json:"adversary,omitempty"`
 	// Schedules is the number of schedules/runs verified (trace classes
 	// under -por; sampled runs under -sample).
 	Schedules int `json:"schedules"`
@@ -115,11 +125,36 @@ func main() {
 	sample := flag.Int("sample", 0, "statistically sample this many seeded schedules (uniform random walk) and report trace-class coverage")
 	pctDepth := flag.Int("pct-depth", 0, "with -sample, use the PCT sampler with this bug depth (d-1 priority-change points; 0 = random walk)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable NDJSON result record per batch/run instead of text")
+	model := flag.String("model", "", "memory model for register/snapshot semantics (see docs/models.md; default atomic)")
+	adversary := flag.String("adversary", "", "crash adversary strategy for crash sweeps (see docs/models.md; default uniform-crash)")
 	flag.Parse()
 
 	if *n < 2 {
 		fmt.Fprintln(os.Stderr, "gsbrun: need n >= 2")
 		os.Exit(2)
+	}
+	// Registry names are validated eagerly so a typo is a usage error
+	// with the registered names listed, not a late engine failure.
+	if _, err := repro.MemModelByName(*model); err != nil {
+		fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := repro.AdversaryByName(*adversary); err != nil {
+		fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
+		os.Exit(2)
+	}
+	if *adversary != "" && !(*explore && *crash > 0) {
+		fmt.Fprintln(os.Stderr, "gsbrun: -adversary selects a crash-sweep strategy and needs -explore -crash > 0")
+		os.Exit(2)
+	}
+	// Explicitly naming a default is the same as not naming it: the
+	// records (and campaign option hashes) of default runs stay
+	// byte-identical to the pre-registry engine.
+	if *model == repro.ModelAtomic {
+		*model = ""
+	}
+	if *adversary == repro.AdversaryUniformCrash {
+		*adversary = ""
 	}
 	reduction := repro.ReductionNone
 	if *por {
@@ -137,7 +172,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *sample > 0 {
-		if err := sampleProtocol(*protocol, *n, *seed, *workers, *sample, *pctDepth, *jsonOut); err != nil {
+		if err := sampleProtocol(*protocol, *n, *seed, *workers, *sample, *pctDepth, *model, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
 			os.Exit(1)
 		}
@@ -154,7 +189,7 @@ func main() {
 		// Probability/budget validation happens inside the exploration
 		// engine (ExploreOptions.Validate), so a bad -crash surfaces as
 		// an error here rather than a panic in a worker goroutine.
-		if err := exploreProtocol(*protocol, *n, *seed, *crash, *workers, *maxRuns, sweepRuns, reduction, *jsonOut); err != nil {
+		if err := exploreProtocol(*protocol, *n, *seed, *crash, *workers, *maxRuns, sweepRuns, reduction, *model, *adversary, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
 			os.Exit(1)
 		}
@@ -167,7 +202,7 @@ func main() {
 		os.Exit(2)
 	}
 	for s := *seed; s < *seed+int64(*runs); s++ {
-		if err := runOnce(*protocol, *n, s, *crash, *trace, *jsonOut); err != nil {
+		if err := runOnce(*protocol, *n, s, *crash, *model, *trace, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "gsbrun: %v\n", err)
 			os.Exit(1)
 		}
@@ -195,7 +230,7 @@ func selectProtocol(protocol string, n int, seed int64) (repro.Spec, func(n int)
 // sampleRuns seeded runs drawn by a uniform random walk, or by PCT when
 // pctDepth > 0, each verified against the task, with distinct-trace-class
 // coverage in the report.
-func sampleProtocol(protocol string, n int, seed int64, workers, sampleRuns, pctDepth int, jsonOut bool) error {
+func sampleProtocol(protocol string, n int, seed int64, workers, sampleRuns, pctDepth int, model string, jsonOut bool) error {
 	spec, build, err := selectProtocol(protocol, n, seed)
 	if err != nil {
 		return err
@@ -204,7 +239,7 @@ func sampleProtocol(protocol string, n int, seed int64, workers, sampleRuns, pct
 	if pctDepth > 0 {
 		mode = repro.SamplePCT
 	}
-	opts := repro.ExploreOptions{Workers: workers, Seed: seed, SampleRuns: sampleRuns, SampleMode: mode, Depth: pctDepth}
+	opts := repro.ExploreOptions{Workers: workers, Seed: seed, SampleRuns: sampleRuns, SampleMode: mode, Depth: pctDepth, Model: model}
 	rep, err := repro.SampleVerified(context.Background(), spec, repro.DefaultIDs(n), opts, build)
 	if jsonOut {
 		rec := record{
@@ -214,6 +249,7 @@ func sampleProtocol(protocol string, n int, seed int64, workers, sampleRuns, pct
 			N:         n,
 			Seed:      seed,
 			Workers:   workers,
+			Model:     model,
 			Schedules: rep.Runs,
 			Classes:   rep.Classes,
 			Coverage:  rep.Coverage(),
@@ -249,12 +285,12 @@ func sampleProtocol(protocol string, n int, seed int64, workers, sampleRuns, pct
 // failure-free schedule (one representative per commuting-step
 // equivalence class under -por), or as a randomized crash sweep when
 // crash > 0.
-func exploreProtocol(protocol string, n int, seed int64, crash float64, workers, maxRuns, runs int, reduction repro.Reduction, jsonOut bool) error {
+func exploreProtocol(protocol string, n int, seed int64, crash float64, workers, maxRuns, runs int, reduction repro.Reduction, model, adversary string, jsonOut bool) error {
 	spec, build, err := selectProtocol(protocol, n, seed)
 	if err != nil {
 		return err
 	}
-	opts := repro.ExploreOptions{Workers: workers, MaxRuns: maxRuns, Seed: seed, Reduction: reduction}
+	opts := repro.ExploreOptions{Workers: workers, MaxRuns: maxRuns, Seed: seed, Reduction: reduction, Model: model, Adversary: adversary}
 	mode := "every failure-free schedule"
 	recMode := "explore"
 	if reduction != repro.ReductionNone {
@@ -278,6 +314,8 @@ func exploreProtocol(protocol string, n int, seed int64, crash float64, workers,
 			N:         n,
 			Seed:      seed,
 			Workers:   workers,
+			Model:     model,
+			Adversary: adversary,
 			Schedules: count,
 			OK:        err == nil,
 		}
@@ -297,7 +335,7 @@ func exploreProtocol(protocol string, n int, seed int64, crash float64, workers,
 	return nil
 }
 
-func runOnce(protocol string, n int, seed int64, crash float64, trace, jsonOut bool) error {
+func runOnce(protocol string, n int, seed int64, crash float64, model string, trace, jsonOut bool) error {
 	spec, build, err := selectProtocol(protocol, n, seed)
 	if err != nil {
 		return err
@@ -308,7 +346,7 @@ func runOnce(protocol string, n int, seed int64, crash float64, trace, jsonOut b
 	} else {
 		policy = repro.NewRandomPolicy(seed)
 	}
-	res, err := repro.RunVerified(spec, repro.DefaultIDs(n), policy, build)
+	res, err := repro.RunVerifiedUnder(model, spec, repro.DefaultIDs(n), policy, build)
 	if jsonOut {
 		rec := record{
 			Protocol: protocol,
@@ -316,6 +354,7 @@ func runOnce(protocol string, n int, seed int64, crash float64, trace, jsonOut b
 			Mode:     "run",
 			N:        n,
 			Seed:     seed,
+			Model:    model,
 			OK:       err == nil,
 		}
 		if err != nil {

@@ -60,6 +60,10 @@ func TestGsbrunInvalidFlags(t *testing.T) {
 		{"unknown-protocol", []string{"-protocol", "bogus"}, 1, `unknown protocol "bogus"`},
 		{"undefined-flag", []string{"-bogus"}, 2, "flag provided but not defined"},
 		{"negative-maxruns", []string{"-explore", "-maxruns", "-5"}, 1, "negative"},
+		{"unknown-model", []string{"-model", "bogus"}, 2, `unknown memory model "bogus" (registered: atomic, regular, safe, stale-snapshot)`},
+		{"unknown-adversary", []string{"-adversary", "bogus", "-explore", "-crash", "0.1", "-runs", "10"}, 2, `unknown adversary "bogus" (registered: uniform-crash, t-resilient, adaptive)`},
+		{"adversary-without-crash-sweep", []string{"-adversary", "t-resilient"}, 2, "-adversary selects a crash-sweep strategy"},
+		{"adversary-with-sample", []string{"-adversary", "t-resilient", "-sample", "10"}, 2, "-adversary selects a crash-sweep strategy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -97,6 +101,43 @@ func TestGsbrunJSONSchema(t *testing.T) {
 		}
 		if rec["ok"] != true {
 			t.Errorf("args %v: record not ok: %v", args, rec)
+		}
+	}
+}
+
+// TestGsbrunModelAdversaryRecord: -model and -adversary thread into the
+// engine and are echoed in the JSON record; the default names are
+// normalized away (omitempty), so default records are byte-identical to
+// pre-registry ones.
+func TestGsbrunModelAdversaryRecord(t *testing.T) {
+	cases := []struct {
+		args          []string
+		model, adv    any // expected record fields (nil = absent)
+		wantSchedules bool
+	}{
+		{[]string{"-json", "-n", "3", "-protocol", "renaming", "-model", "regular"}, "regular", nil, false},
+		{[]string{"-json", "-n", "2", "-protocol", "renaming", "-explore", "-model", "stale-snapshot"}, "stale-snapshot", nil, true},
+		{[]string{"-json", "-n", "3", "-protocol", "renaming", "-explore", "-crash", "0.1", "-runs", "30", "-adversary", "adaptive"}, nil, "adaptive", true},
+		{[]string{"-json", "-n", "3", "-protocol", "renaming", "-model", "atomic"}, nil, nil, false}, // explicit default normalizes away
+	}
+	for _, tc := range cases {
+		stdout, stderr, code := runSelf(t, tc.args...)
+		if code != 0 {
+			t.Fatalf("args %v: exit %d\nstderr: %s", tc.args, code, stderr)
+		}
+		var rec map[string]any
+		line := strings.SplitN(strings.TrimSpace(stdout), "\n", 2)[0]
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("args %v: output is not JSON: %v\n%s", tc.args, err, stdout)
+		}
+		if rec["model"] != tc.model {
+			t.Errorf("args %v: model = %v, want %v", tc.args, rec["model"], tc.model)
+		}
+		if rec["adversary"] != tc.adv {
+			t.Errorf("args %v: adversary = %v, want %v", tc.args, rec["adversary"], tc.adv)
+		}
+		if tc.wantSchedules && rec["schedules"] == nil {
+			t.Errorf("args %v: no schedules in record: %v", tc.args, rec)
 		}
 	}
 }

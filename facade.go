@@ -91,6 +91,40 @@ const (
 	ReductionSleepMemo = sched.ReductionSleepMemo
 )
 
+// Memory models (ExploreOptions.Model; docs/models.md): register and
+// snapshot semantics as a named, first-class execution axis. The default
+// atomic model is bit-identical to the pre-registry engine; the weak
+// models express their weakness as extra scheduler-visible decision
+// points, so runs stay pure functions of (model, schedule).
+const (
+	ModelAtomic        = sched.ModelAtomic
+	ModelRegular       = sched.ModelRegular
+	ModelSafe          = sched.ModelSafe
+	ModelStaleSnapshot = sched.ModelStaleSnapshot
+)
+
+// Crash adversaries (ExploreOptions.Adversary; docs/models.md): the
+// strategy generating per-run crash policies in seeded sweeps.
+const (
+	AdversaryUniformCrash = sched.AdversaryUniformCrash
+	AdversaryTResilient   = sched.AdversaryTResilient
+	AdversaryAdaptive     = sched.AdversaryAdaptive
+)
+
+var (
+	// MemModels and Adversaries list the registered names (default
+	// first); MemModelByName and AdversaryByName resolve a name, with an
+	// error naming the registered set on an unknown one.
+	MemModels       = sched.MemModels
+	MemModelByName  = sched.MemModelByName
+	Adversaries     = sched.Adversaries
+	AdversaryByName = sched.AdversaryByName
+	// WithModel runs a runner's shared objects under a resolved memory
+	// model; RunUnder / RunVerifiedUnder are the name-resolving one-shot
+	// forms.
+	WithModel = sched.WithModel
+)
+
 // Statistical samplers (ExploreOptions.SampleMode): the uniform random
 // walk over the pending set, and probabilistic concurrency testing
 // (random priorities plus Depth-1 seeded priority-change points, with the
@@ -309,6 +343,8 @@ var (
 	RunOn                          = tasks.RunOn
 	RunVerifiedOn                  = tasks.RunVerifiedOn
 	RunVerified                    = tasks.RunVerified
+	RunUnder                       = tasks.RunUnder
+	RunVerifiedUnder               = tasks.RunVerifiedUnder
 	ExploreVerified                = tasks.ExploreVerified
 	SampleVerified                 = tasks.SampleVerified
 	SolverBody                     = tasks.Body
@@ -389,12 +425,20 @@ var (
 	CampaignText       = harness.CampaignText
 	SolvabilityText    = harness.SolvabilityText
 	GCDTableText       = harness.GCDTableText
+	// ModelMatrixExperiment diffs GSB solvability across the registered
+	// memory models and adversaries (docs/models.md).
+	ModelMatrixExperiment = harness.ModelMatrixExperiment
+	ModelMatrixText       = harness.ModelMatrixText
 )
 
 // Message-passing baselines (internal/msgnet, internal/luby).
 type (
 	// Graph is an undirected message-passing topology.
 	Graph = msgnet.Graph
+	// NetAdversary is the seeded message adversary: per-directed-edge
+	// loss, delay and reordering between synchronous rounds
+	// (docs/models.md). Executions are deterministic per seed.
+	NetAdversary = msgnet.NetAdversary
 )
 
 var (
@@ -407,4 +451,14 @@ var (
 	LubyColoring   = luby.Coloring
 	VerifyColoring = luby.VerifyColoring
 	RingThreeColor = luby.RingThreeColor
+	// RunAdversarial executes a msgnet protocol under a message
+	// adversary; Synchronize wraps fault-free protocols so they tolerate
+	// it (retransmission repairs loss; buffering absorbs delay and
+	// reordering). The *Under variants are the baselines composed with
+	// both: the symmetry-breaking algorithms running under faults.
+	RunAdversarial      = msgnet.RunAdversarial
+	Synchronize         = msgnet.Synchronize
+	LubyMISUnder        = luby.MISUnder
+	LubyColoringUnder   = luby.ColoringUnder
+	RingThreeColorUnder = luby.RingThreeColorUnder
 )

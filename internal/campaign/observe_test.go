@@ -230,6 +230,44 @@ func TestObserverEndpoints(t *testing.T) {
 	}
 }
 
+// TestObserverAdversaryEventsEndpoint golden-checks the
+// gsb_adversary_events_total exposition: a crash-sweep campaign under a
+// non-default adversary serves the counter on /metrics, and the exposed
+// figure equals the final report's checkpointed total.
+func TestObserverAdversaryEventsEndpoint(t *testing.T) {
+	tc := campCases(t)[0]
+	opts := optsFor(ModeCrash, 2)
+	opts.CrashProb = 0.15
+	opts.Adversary = sched.AdversaryTResilient
+	obs := NewObserver()
+	cfg := cfgFor(tc, opts, filepath.Join(t.TempDir(), "c.ckpt"))
+	cfg.Observer = obs
+	rep, err := Start(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	events := rep.Stats.Counter(sched.MetricAdversaryEvents)
+	if events == 0 {
+		t.Fatal("sweep injected no crashes at CrashProb 0.15; the golden is vacuous")
+	}
+
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := fmt.Sprintf("%s %d", sched.MetricAdversaryEvents, events)
+	if !strings.Contains(string(raw), line+"\n") {
+		t.Errorf("/metrics missing line %q in:\n%s", line, raw)
+	}
+}
+
 // TestObserverRebaseAfterResume: a resumed campaign's runs/sec measures
 // the current life while its run counters stay cumulative — the rate base
 // must re-anchor past the restored totals, or a freshly resumed campaign

@@ -99,6 +99,13 @@ type OptionsHeader struct {
 	CrashRuns  int     `json:"crash_runs,omitempty"`
 	CrashProb  float64 `json:"crash_prob,omitempty"`
 	MaxCrashes int     `json:"max_crashes,omitempty"`
+	// Model and Adversary are normalized to "" when they name the
+	// defaults (atomic, uniform-crash), so a campaign started with the
+	// explicit default has the identity — and the options hash — of one
+	// started with the field unset, and snapshots from before the
+	// registries existed keep resuming.
+	Model     string `json:"model,omitempty"`
+	Adversary string `json:"adversary,omitempty"`
 }
 
 // OptionsHashExcluded names the sched.ExploreOptions fields that are
@@ -109,6 +116,16 @@ type OptionsHeader struct {
 var OptionsHashExcluded = map[string]string{
 	"Workers": "execution-resource knob: worker count must not change what a campaign verifies (the determinism contract), so resumes may legally change it",
 	"Stats":   "observability sink: where metrics go never affects what is computed",
+}
+
+// nonDefaultName normalizes a registry name for campaign identity: the
+// empty string and the registry default are the same choice, so both
+// render as "".
+func nonDefaultName(name, def string) string {
+	if name == def {
+		return ""
+	}
+	return name
 }
 
 func optionsHeader(o sched.ExploreOptions) OptionsHeader {
@@ -123,6 +140,8 @@ func optionsHeader(o sched.ExploreOptions) OptionsHeader {
 		CrashRuns:  o.CrashRuns,
 		CrashProb:  o.CrashProb,
 		MaxCrashes: o.MaxCrashes,
+		Model:      nonDefaultName(o.Model, sched.ModelAtomic),
+		Adversary:  nonDefaultName(o.Adversary, sched.AdversaryUniformCrash),
 	}
 }
 
@@ -141,6 +160,8 @@ func (h Header) ExploreOptions() sched.ExploreOptions {
 		CrashRuns:  o.CrashRuns,
 		CrashProb:  o.CrashProb,
 		MaxCrashes: o.MaxCrashes,
+		Model:      o.Model,
+		Adversary:  o.Adversary,
 	}
 }
 
@@ -170,6 +191,15 @@ func optionsHash(h Header) string {
 		h.Options.Seed, h.Options.MaxRuns, h.Options.MaxSteps, h.Options.Reduction,
 		h.Options.SampleRuns, h.Options.SampleMode, h.Options.Depth,
 		h.Options.CrashRuns, h.Options.CrashProb, h.Options.MaxCrashes)
+	// Non-default memory model / adversary choices join the identity;
+	// defaults contribute nothing, so hashes of snapshots from before the
+	// registries existed are unchanged and keep resuming.
+	if h.Options.Model != "" {
+		fmt.Fprintf(f, "|model=%s", h.Options.Model)
+	}
+	if h.Options.Adversary != "" {
+		fmt.Fprintf(f, "|adversary=%s", h.Options.Adversary)
+	}
 	return fmt.Sprintf("%016x", f.Sum64())
 }
 

@@ -35,9 +35,22 @@ type CampaignRow struct {
 // 3-shard merge, in a temporary directory that is removed afterwards.
 // It is the harness-level smoke of the differential guarantees the
 // campaign package's tests establish exhaustively.
-func CampaignExperiment(n, workers, sampleRuns int) ([]CampaignRow, error) {
+//
+// model and adversary select the execution model (registry names,
+// empty = defaults): model applies to every mode, adversary to the
+// crash-sweep mode. The differential guarantees are model-independent —
+// kill/resume and shard-merge must reproduce the uninterrupted run under
+// weak registers and biased crash adversaries exactly as under the
+// defaults.
+func CampaignExperiment(n, workers, sampleRuns int, model, adversary string) ([]CampaignRow, error) {
 	if workers <= 0 {
 		workers = 1
+	}
+	if _, err := sched.MemModelByName(model); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	if _, err := sched.AdversaryByName(adversary); err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
 	}
 	dir, err := os.MkdirTemp("", "gsb-campaign-experiment-*")
 	if err != nil {
@@ -53,9 +66,9 @@ func CampaignExperiment(n, workers, sampleRuns int) ([]CampaignRow, error) {
 		mode campaign.Mode
 		opts sched.ExploreOptions
 	}{
-		{campaign.ModePOR, sched.ExploreOptions{Workers: workers, Seed: 1, Reduction: sched.ReductionSleepSets}},
-		{campaign.ModeWalk, sched.ExploreOptions{Workers: workers, Seed: 1, SampleRuns: sampleRuns}},
-		{campaign.ModeCrash, sched.ExploreOptions{Workers: workers, Seed: 1, CrashRuns: sampleRuns, CrashProb: 0.05}},
+		{campaign.ModePOR, sched.ExploreOptions{Workers: workers, Seed: 1, Reduction: sched.ReductionSleepSets, Model: model}},
+		{campaign.ModeWalk, sched.ExploreOptions{Workers: workers, Seed: 1, SampleRuns: sampleRuns, Model: model}},
+		{campaign.ModeCrash, sched.ExploreOptions{Workers: workers, Seed: 1, CrashRuns: sampleRuns, CrashProb: 0.05, Model: model, Adversary: adversary}},
 	}
 
 	var rows []CampaignRow

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModelMatrixExperiment pins the experiment's load-bearing facts:
+// the atomic column reproduces the pre-registry trace-class counts
+// exactly, the weak models demonstrably change the explored state space,
+// the safe model breaks the splitter grid, and the oracle-based universal
+// construction is model-immune under every crash adversary.
+func TestModelMatrixExperiment(t *testing.T) {
+	res, err := ModelMatrixExperiment(2, 1000, 25, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) < 3 || len(res.Adversaries) < 3 {
+		t.Fatalf("matrix spans %d models x %d adversaries, want >= 3 on each axis", len(res.Models), len(res.Adversaries))
+	}
+
+	classes := map[[2]string]int{}
+	verdicts := map[[2]string]string{}
+	for _, row := range res.Explore {
+		classes[[2]string{row.Protocol, row.Model}] = row.Classes
+		verdicts[[2]string{row.Protocol, row.Model}] = row.Verdict
+	}
+	// Pre-registry golden counts: the atomic model is bit-identical to the
+	// engine before the model axis existed.
+	if got := classes[[2]string{"snapshot-renaming", "atomic"}]; got != 14 {
+		t.Errorf("snapshot-renaming atomic classes = %d, want the pre-registry 14", got)
+	}
+	if got := classes[[2]string{"grid-renaming", "atomic"}]; got != 10 {
+		t.Errorf("grid-renaming atomic classes = %d, want the pre-registry 10", got)
+	}
+	// The model axis changes the explored state space.
+	for _, proto := range []string{"snapshot-renaming", "grid-renaming"} {
+		atomic := classes[[2]string{proto, "atomic"}]
+		if reg := classes[[2]string{proto, "regular"}]; reg <= atomic {
+			t.Errorf("%s: regular classes %d <= atomic %d", proto, reg, atomic)
+		}
+	}
+	if stale, atomic := classes[[2]string{"snapshot-renaming", "stale-snapshot"}], classes[[2]string{"snapshot-renaming", "atomic"}]; stale <= atomic {
+		t.Errorf("snapshot-renaming: stale-snapshot classes %d <= atomic %d", stale, atomic)
+	}
+	// Splitters require atomic registers: the safe model breaks the grid.
+	if v := verdicts[[2]string{"grid-renaming", "safe"}]; !strings.Contains(v, "VIOLATION") {
+		t.Errorf("grid-renaming under safe registers = %q, want a violation", v)
+	}
+	if v := verdicts[[2]string{"grid-renaming", "atomic"}]; v != "ok" {
+		t.Errorf("grid-renaming under atomic registers = %q, want ok", v)
+	}
+
+	// The universal construction communicates only through oracle objects:
+	// model-independent, adversary-tolerant.
+	if len(res.Diff) == 0 {
+		t.Fatal("no family rows")
+	}
+	for _, row := range res.Diff {
+		if len(row.Cells) != len(res.Models)*len(res.Adversaries) {
+			t.Fatalf("%s: %d cells, want %d", row.Spec, len(row.Cells), len(res.Models)*len(res.Adversaries))
+		}
+		for _, c := range row.Cells {
+			if c.Verdict != "ok" {
+				t.Errorf("%s model=%s adversary=%s: %q — the oracle-based construction must be model-immune",
+					row.Spec, c.Model, c.Adversary, c.Verdict)
+			}
+		}
+	}
+
+	text := ModelMatrixText(res)
+	for _, want := range []string{"Memory-model axis", "Adversary axis", "snapshot-renaming", "uniform-crash", "t-resilient", "adaptive"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("ModelMatrixText missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestModelMatrixExperimentFilters: the axis filters restrict the matrix
+// and reject unknown names.
+func TestModelMatrixExperimentFilters(t *testing.T) {
+	res, err := ModelMatrixExperiment(2, 200, 10, []string{"atomic"}, []string{"adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 1 || res.Models[0] != "atomic" || len(res.Adversaries) != 1 || res.Adversaries[0] != "adaptive" {
+		t.Fatalf("filtered axes = %v x %v", res.Models, res.Adversaries)
+	}
+	for _, row := range res.Diff {
+		if len(row.Cells) != 1 {
+			t.Fatalf("%s: %d cells under a 1x1 filter", row.Spec, len(row.Cells))
+		}
+	}
+	if _, err := ModelMatrixExperiment(2, 200, 10, []string{"bogus"}, nil); err == nil {
+		t.Error("unknown model filter accepted")
+	}
+	if _, err := ModelMatrixExperiment(2, 200, 10, nil, []string{"bogus"}); err == nil {
+		t.Error("unknown adversary filter accepted")
+	}
+}

@@ -16,10 +16,11 @@ import (
 // header by optionsHeader (and from there into the hash by optionsHash),
 // or deliberately excluded in the OptionsHashExcluded list with a reason
 // (execution details like Workers, observability sinks like Stats).
-// ROADMAP items (DPOR knobs, model/adversary registries, fuzzing energy
-// parameters) will all add ExploreOptions fields; each one is a silent
-// resume-correctness landmine until it is hashed or consciously excluded,
-// which is exactly the decision this analyzer forces.
+// Every new ExploreOptions field — the memory-model and adversary
+// registries added Model and Adversary this way; ROADMAP items (DPOR
+// knobs, fuzzing energy parameters) will add more — is a silent
+// resume-correctness landmine until it is hashed or consciously
+// excluded, which is exactly the decision this analyzer forces.
 //
 // Mechanically, in any package that defines func optionsHeader (in this
 // tree: internal/campaign):

@@ -1,0 +1,94 @@
+package luby
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/msgnet"
+	"repro/internal/stats"
+)
+
+// The *Under variants run the baselines under the message adversary via
+// the synchronizer: faults must cost rounds, never correctness, and the
+// executions must be deterministic per (seed, adversary).
+
+func testAdv(seed int64) *msgnet.NetAdversary {
+	return &msgnet.NetAdversary{Seed: seed, LossProb: 0.15, DelayProb: 0.1, ReorderProb: 0.1}
+}
+
+func TestMISUnderAdversary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := msgnet.GNP(24, 0.2, rng.Float64)
+	res, err := MISUnder(g, 7, 20000, testAdv(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMIS(g, res.InMIS); err != nil {
+		t.Fatalf("MIS under faults is invalid: %v", err)
+	}
+	// nil adversary is the fault-free run.
+	ref, err := MISUnder(g, 7, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMIS(g, ref.InMIS); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= ref.Rounds {
+		t.Errorf("adversarial run took %d rounds, fault-free %d; synchronization must cost rounds", res.Rounds, ref.Rounds)
+	}
+	// Determinism per (seed, adversary).
+	again, err := MISUnder(g, 7, 20000, testAdv(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rounds != res.Rounds {
+		t.Errorf("same seeds: %d rounds vs %d", again.Rounds, res.Rounds)
+	}
+	for v := range res.InMIS {
+		if again.InMIS[v] != res.InMIS[v] {
+			t.Fatalf("same seeds: vertex %d membership diverged", v)
+		}
+	}
+}
+
+func TestColoringUnderAdversary(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := msgnet.GNP(20, 0.25, rng.Float64)
+	res, err := ColoringUnder(g, 9, 20000, testAdv(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoring(g, res.Colors, g.MaxDegree()+1); err != nil {
+		t.Fatalf("coloring under faults is invalid: %v", err)
+	}
+}
+
+// TestRingThreeColorUnderMatchesFaultFree: Cole-Vishkin is deterministic,
+// so the synchronizer-wrapped adversarial run must produce exactly the
+// fault-free coloring — the adversary can delay the answer, not change it.
+func TestRingThreeColorUnderMatchesFaultFree(t *testing.T) {
+	const n = 32
+	ref, err := RingThreeColor(n, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := testAdv(17)
+	reg := stats.New()
+	adv.Stats = reg
+	res, err := RingThreeColorUnder(n, 20000, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.Colors {
+		if res.Colors[v] != ref.Colors[v] {
+			t.Fatalf("vertex %d: color %d under faults, %d fault-free", v, res.Colors[v], ref.Colors[v])
+		}
+	}
+	if events := reg.Snapshot().Counter(msgnet.MetricAdversaryEvents); events == 0 {
+		t.Error("adversary injected no faults (the test is vacuous)")
+	}
+	if res.Rounds <= ref.Rounds {
+		t.Errorf("adversarial run took %d rounds, fault-free %d", res.Rounds, ref.Rounds)
+	}
+}

@@ -10,6 +10,28 @@
 // must be treated as immutable by protocol code: registers copy the value
 // header only (Go assignment), so mutating a stored slice after writing it
 // would break atomicity.
+//
+// Register and snapshot semantics are model-mediated (sched.MemModel,
+// docs/models.md): under the default atomic model every operation is the
+// one step described above, bit-identical to the pre-registry behavior.
+// The weak models add scheduler-visible decision points instead of hidden
+// nondeterminism — a run stays a pure function of (model, schedule):
+//
+//   - TwoPhaseWrites (regular, safe): Write executes as a
+//     "<name>.write-start" step opening a write window followed by a
+//     "<name>.write-commit" step installing the value. A read scheduled
+//     between the two sees the old committed value (regular semantics).
+//     A writer crashed between start and commit leaves the window open
+//     forever — a torn write.
+//   - SafeReads (safe): a Read whose step lands inside an open write
+//     window returns the arbitrary value of Lamport's safe registers,
+//     represented deterministically as the unwritten zero value.
+//   - StaleSnapshots: Array.Snapshot degrades to Collect — n individual
+//     read steps instead of one atomic step — so two snapshots need not
+//     be mutually comparable.
+//
+// Snapshots under the two-phase models read committed values only (the
+// write weakening and the snapshot weakening are orthogonal axes).
 package mem
 
 import (
@@ -24,6 +46,10 @@ type Array[T any] struct {
 	name    string
 	vals    []T
 	written []bool
+	// open counts open write windows per register under the two-phase
+	// models (see the package comment); nil until the first two-phase
+	// write, so the atomic hot path allocates nothing extra.
+	open []int
 }
 
 // NewArray allocates an array of n 1WnR registers holding zero values.
@@ -34,8 +60,26 @@ func NewArray[T any](name string, n int) *Array[T] {
 // Len returns the number of registers.
 func (a *Array[T]) Len() int { return len(a.vals) }
 
-// Write stores v in the caller's register (one step).
+// Write stores v in the caller's register: one step under the atomic
+// model, a write-start/write-commit step pair under the two-phase models.
 func (a *Array[T]) Write(p *sched.Proc, v T) {
+	if p.Model().TwoPhaseWrites() {
+		i := p.Index()
+		p.Exec(a.name+".write-start", func() any {
+			if a.open == nil {
+				a.open = make([]int, len(a.vals))
+			}
+			a.open[i]++
+			return nil
+		})
+		p.Exec(a.name+".write-commit", func() any {
+			a.vals[i] = v
+			a.written[i] = true
+			a.open[i]--
+			return nil
+		})
+		return
+	}
 	p.Exec(a.name+".write", func() any {
 		a.vals[p.Index()] = v
 		a.written[p.Index()] = true
@@ -44,8 +88,18 @@ func (a *Array[T]) Write(p *sched.Proc, v T) {
 }
 
 // Read returns the value of register j (one step) and whether it has ever
-// been written.
+// been written. Under the safe model a read overlapping an open write
+// window returns the unwritten zero value.
 func (a *Array[T]) Read(p *sched.Proc, j int) (T, bool) {
+	if p.Model().SafeReads() {
+		res := p.Exec(a.name+".read", func() any {
+			if a.open != nil && a.open[j] > 0 {
+				return readResult[T]{}
+			}
+			return readResult[T]{val: a.vals[j], ok: a.written[j]}
+		}).(readResult[T])
+		return res.val, res.ok
+	}
 	res := p.Exec(a.name+".read", func() any {
 		return readResult[T]{val: a.vals[j], ok: a.written[j]}
 	}).(readResult[T])
@@ -75,6 +129,12 @@ func (a *Array[T]) Collect(p *sched.Proc) ([]T, []bool) {
 // mem also provides that construction (SnapshotObject) and tests that the
 // two agree observationally.
 func (a *Array[T]) Snapshot(p *sched.Proc) ([]T, []bool) {
+	if p.Model().StaleSnapshots() {
+		// The stale-snapshot model degrades the one-step snapshot into a
+		// per-register collect: n read steps, so the values need not be
+		// mutually consistent.
+		return a.Collect(p)
+	}
 	res := p.Exec(a.name+".snapshot", func() any {
 		vals := make([]T, len(a.vals))
 		oks := make([]bool, len(a.vals))
@@ -98,13 +158,29 @@ type Reg[T any] struct {
 	name    string
 	val     T
 	written bool
+	// open counts open write windows under the two-phase models.
+	open int
 }
 
 // NewReg allocates a multi-writer register holding the zero value.
 func NewReg[T any](name string) *Reg[T] { return &Reg[T]{name: name} }
 
-// Write stores v (one step).
+// Write stores v: one step under the atomic model, a write-start/
+// write-commit step pair under the two-phase models.
 func (r *Reg[T]) Write(p *sched.Proc, v T) {
+	if p.Model().TwoPhaseWrites() {
+		p.Exec(r.name+".write-start", func() any {
+			r.open++
+			return nil
+		})
+		p.Exec(r.name+".write-commit", func() any {
+			r.val = v
+			r.written = true
+			r.open--
+			return nil
+		})
+		return
+	}
 	p.Exec(r.name+".write", func() any {
 		r.val = v
 		r.written = true
@@ -112,9 +188,13 @@ func (r *Reg[T]) Write(p *sched.Proc, v T) {
 	})
 }
 
-// Read returns the current value (one step).
+// Read returns the current value (one step). Under the safe model a read
+// overlapping an open write window returns the unwritten zero value.
 func (r *Reg[T]) Read(p *sched.Proc) (T, bool) {
 	res := p.Exec(r.name+".read", func() any {
+		if r.open > 0 && p.Model().SafeReads() {
+			return readResult[T]{}
+		}
 		return readResult[T]{val: r.val, ok: r.written}
 	}).(readResult[T])
 	return res.val, res.ok

@@ -1,0 +1,224 @@
+package mem
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// These tests pin the weak-model semantics of the package comment with
+// scripted schedules: exactly which value a read returns relative to a
+// write window is the model's observable contract.
+
+func modelByName(t *testing.T, name string) sched.MemModel {
+	t.Helper()
+	m, err := sched.MemModelByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTwoPhaseWriteWindow: under the regular model a read scheduled
+// inside the write window returns the old committed value; under the safe
+// model it returns the unwritten zero value. After the commit both see
+// the new value.
+func TestTwoPhaseWriteWindow(t *testing.T) {
+	cases := []struct {
+		model  string
+		midVal int
+		midOk  bool
+	}{
+		{sched.ModelRegular, 1, true}, // regular: committed value
+		{sched.ModelSafe, 0, false},   // safe: arbitrary = unwritten zero
+	}
+	for _, tc := range cases {
+		reg := NewReg[int]("R")
+		// p0: Write(1); Write(2).  p1: Read; Read.
+		// Schedule: both steps of Write(1), write-start of Write(2), p1's
+		// mid-window read, write-commit, p1's second read.
+		script := sched.NewScript([]sched.Decision{
+			{Proc: 0}, {Proc: 0}, // write-start + write-commit of 1
+			{Proc: 0}, // write-start of 2: window opens
+			{Proc: 1}, // read inside the window
+			{Proc: 0}, // write-commit of 2
+			{Proc: 1}, // read after the window
+		})
+		var midV, endV int
+		var midOk, endOk bool
+		r := sched.NewRunner(2, sched.DefaultIDs(2), script, sched.WithModel(modelByName(t, tc.model)))
+		_, err := r.Run(func(p *sched.Proc) {
+			if p.Index() == 0 {
+				reg.Write(p, 1)
+				reg.Write(p, 2)
+			} else {
+				midV, midOk = reg.Read(p)
+				endV, endOk = reg.Read(p)
+			}
+			p.Decide(p.Index())
+		})
+		if err != nil {
+			t.Fatalf("%s: run failed: %v", tc.model, err)
+		}
+		if midV != tc.midVal || midOk != tc.midOk {
+			t.Errorf("%s: mid-window read = (%d, %v), want (%d, %v)", tc.model, midV, midOk, tc.midVal, tc.midOk)
+		}
+		if endV != 2 || !endOk {
+			t.Errorf("%s: post-commit read = (%d, %v), want (2, true)", tc.model, endV, endOk)
+		}
+	}
+}
+
+// TestTornWriteCrash: a writer crashed between write-start and
+// write-commit leaves the window open forever. Regular readers keep the
+// last committed value; safe readers see the torn (zero) value from then
+// on.
+func TestTornWriteCrash(t *testing.T) {
+	cases := []struct {
+		model   string
+		wantVal int
+		wantOk  bool
+	}{
+		{sched.ModelRegular, 7, true},
+		{sched.ModelSafe, 0, false},
+	}
+	for _, tc := range cases {
+		reg := NewReg[int]("R")
+		// p1: Write(7); Read.  p0: Write(9), crashed mid-window.
+		script := sched.NewScript([]sched.Decision{
+			{Proc: 1}, {Proc: 1}, // p1 commits 7
+			{Proc: 0},              // p0 write-start of 9: window opens
+			{Proc: 0, Crash: true}, // p0 dies mid-write: torn write
+			{Proc: 1},              // p1 reads under the open window
+		})
+		var v int
+		var ok bool
+		r := sched.NewRunner(2, sched.DefaultIDs(2), script, sched.WithModel(modelByName(t, tc.model)))
+		res, err := r.Run(func(p *sched.Proc) {
+			if p.Index() == 0 {
+				reg.Write(p, 9)
+			} else {
+				reg.Write(p, 7)
+				v, ok = reg.Read(p)
+			}
+			p.Decide(p.Index())
+		})
+		if err != nil {
+			t.Fatalf("%s: run failed: %v", tc.model, err)
+		}
+		if !res.Crashed[0] {
+			t.Fatalf("%s: p0 was not crashed mid-write (schedule %v)", tc.model, res.Schedule)
+		}
+		if v != tc.wantVal || ok != tc.wantOk {
+			t.Errorf("%s: read under a torn write = (%d, %v), want (%d, %v)", tc.model, v, ok, tc.wantVal, tc.wantOk)
+		}
+	}
+}
+
+// TestModelStepDecomposition: the weak models weaken semantics purely by
+// adding scheduler-visible steps — two-phase writes appear as
+// write-start/write-commit ops, stale snapshots as per-register reads —
+// while the atomic schedule is bit-identical to the pre-registry one.
+func TestModelStepDecomposition(t *testing.T) {
+	run := func(model string) []sched.Step {
+		arr := NewArray[int]("A", 2)
+		r := sched.NewRunner(2, sched.DefaultIDs(2), sched.NewRoundRobin(), sched.WithModel(modelByName(t, model)))
+		res, err := r.Run(func(p *sched.Proc) {
+			arr.Write(p, p.Index()+1)
+			arr.Snapshot(p)
+			p.Decide(p.Index())
+		})
+		if err != nil {
+			t.Fatalf("%s: run failed: %v", model, err)
+		}
+		return res.Schedule
+	}
+	countOps := func(sch []sched.Step) map[string]int {
+		ops := map[string]int{}
+		for _, s := range sch {
+			ops[s.Op]++
+		}
+		return ops
+	}
+
+	atomic := countOps(run(sched.ModelAtomic))
+	if atomic["A.write"] != 2 || atomic["A.snapshot"] != 2 || atomic["A.write-start"] != 0 {
+		t.Errorf("atomic ops = %v, want one-step writes and snapshots", atomic)
+	}
+	regular := countOps(run(sched.ModelRegular))
+	if regular["A.write-start"] != 2 || regular["A.write-commit"] != 2 || regular["A.write"] != 0 || regular["A.snapshot"] != 2 {
+		t.Errorf("regular ops = %v, want write-start/write-commit pairs and atomic snapshots", regular)
+	}
+	stale := countOps(run(sched.ModelStaleSnapshot))
+	if stale["A.snapshot"] != 0 || stale["A.read"] != 4 || stale["A.write"] != 2 {
+		t.Errorf("stale-snapshot ops = %v, want per-register collects (2 reads per snapshot) and one-step writes", stale)
+	}
+}
+
+// TestSnapshotReadsCommittedValues: the write weakening and the snapshot
+// weakening are orthogonal — under the two-phase models a one-step
+// snapshot taken inside a write window returns the committed values, not
+// the torn ones.
+func TestSnapshotReadsCommittedValues(t *testing.T) {
+	for _, model := range []string{sched.ModelRegular, sched.ModelSafe} {
+		arr := NewArray[int]("A", 2)
+		script := sched.NewScript([]sched.Decision{
+			{Proc: 0}, {Proc: 0}, // p0 commits 5
+			{Proc: 0}, // p0 write-start of 6: window opens
+			{Proc: 1}, // p1 snapshots inside the window
+			{Proc: 0}, // p0 commits 6
+		})
+		var snapVal int
+		var snapOk bool
+		r := sched.NewRunner(2, sched.DefaultIDs(2), script, sched.WithModel(modelByName(t, model)))
+		_, err := r.Run(func(p *sched.Proc) {
+			if p.Index() == 0 {
+				arr.Write(p, 5)
+				arr.Write(p, 6)
+			} else {
+				vals, oks := arr.Snapshot(p)
+				snapVal, snapOk = vals[0], oks[0]
+			}
+			p.Decide(p.Index())
+		})
+		if err != nil {
+			t.Fatalf("%s: run failed: %v", model, err)
+		}
+		if snapVal != 5 || !snapOk {
+			t.Errorf("%s: snapshot inside a write window saw (%d, %v), want the committed (5, true)", model, snapVal, snapOk)
+		}
+	}
+}
+
+// TestModelAxisChangesClassCounts: the model axis demonstrably changes
+// the explored state space — two-phase writes add interleaving points, so
+// the POR trace-class count of a register protocol strictly grows from
+// atomic to regular, while a model weakening only snapshots leaves a
+// snapshot-free protocol's count unchanged.
+func TestModelAxisChangesClassCounts(t *testing.T) {
+	build := func() sched.Body {
+		reg := NewReg[int]("R")
+		return func(p *sched.Proc) {
+			reg.Write(p, p.Index()+1)
+			v, _ := reg.Read(p)
+			p.Decide(v)
+		}
+	}
+	count := func(model string) int {
+		opts := sched.ExploreOptions{Workers: 2, Reduction: sched.ReductionSleepMemo, MaxSteps: 1000, Model: model}
+		n, err := sched.Explore(context.Background(), 2, sched.DefaultIDs(2), opts,
+			func() sched.Body { return build() }, func(*sched.Result) error { return nil })
+		if err != nil {
+			t.Fatalf("model=%s: %v", model, err)
+		}
+		return n
+	}
+	atomic, regular, stale := count(sched.ModelAtomic), count(sched.ModelRegular), count(sched.ModelStaleSnapshot)
+	if regular <= atomic {
+		t.Errorf("regular classes %d <= atomic classes %d; two-phase writes must add interleavings", regular, atomic)
+	}
+	if stale != atomic {
+		t.Errorf("stale-snapshot classes %d != atomic %d on a snapshot-free protocol", stale, atomic)
+	}
+}

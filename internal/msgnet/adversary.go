@@ -1,0 +1,142 @@
+package msgnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// This file is the message adversary: a seeded fault injector between the
+// senders and the mailboxes of Run. Faults are drawn once per directed
+// edge per round, single-threaded, in ascending (to, from) order, so an
+// adversarial execution is a pure function of (graph, protocols, seed) —
+// the same determinism contract the shared-memory engine's crash
+// adversaries obey (docs/models.md).
+
+// MetricAdversaryEvents is the adversary-events counter name. It is the
+// same metric the shared-memory crash adversaries publish
+// (sched.MetricAdversaryEvents; a test pins the equality), so one counter
+// totals all adversary-injected faults regardless of substrate.
+const MetricAdversaryEvents = "gsb_adversary_events_total"
+
+// NetAdversary drops, delays and reorders messages between synchronous
+// rounds. Each directed edge has a FIFO queue of undelivered messages;
+// once per round per non-empty queue the adversary draws, in order:
+// with probability LossProb the oldest message is destroyed; otherwise
+// with probability DelayProb nothing is delivered this round; otherwise
+// one message is delivered — the newest instead of the oldest with
+// probability ReorderProb (when the queue holds more than one).
+// Delay and reorder preserve messages; only loss destroys them.
+//
+// The zero value injects no faults. Protocols written for the fault-free
+// substrate generally assume every message arrives on time (cvProto
+// panics otherwise); wrap them with Synchronize to run them under an
+// adversary.
+type NetAdversary struct {
+	// Seed seeds the fault stream; executions are reproducible per seed.
+	Seed int64
+	// LossProb, DelayProb and ReorderProb are fault probabilities in
+	// [0, 1]; Validate rejects anything else.
+	LossProb    float64
+	DelayProb   float64
+	ReorderProb float64
+	// Stats, when non-nil, receives MetricAdversaryEvents increments
+	// (one per loss, delay or reorder).
+	Stats *stats.Registry
+}
+
+// Validate reports whether the fault probabilities are well-formed.
+func (a *NetAdversary) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"loss", a.LossProb}, {"delay", a.DelayProb}, {"reorder", a.ReorderProb}} {
+		if !(p.v >= 0 && p.v <= 1) { // negated to catch NaN
+			return fmt.Errorf("msgnet: %s probability %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// netFaults is the per-execution adversary state: one queue per directed
+// edge and one seeded generator, applied single-threaded between rounds.
+type netFaults struct {
+	queues [][][]any // queues[to][from]
+	rng    *rand.Rand
+	adv    *NetAdversary
+	events *stats.Counter
+}
+
+func newNetFaults(n int, adv *NetAdversary) *netFaults {
+	queues := make([][][]any, n)
+	for to := range queues {
+		queues[to] = make([][]any, n)
+	}
+	f := &netFaults{
+		queues: queues,
+		rng:    rand.New(rand.NewSource(adv.Seed)),
+		adv:    adv,
+	}
+	if adv.Stats != nil {
+		f.events = adv.Stats.Counter(MetricAdversaryEvents,
+			"Adversary-injected fault events: crashes (crash adversaries) and message drops/delays/reorders (message adversary).")
+	}
+	return f
+}
+
+//gsb:hotpath
+func (f *netFaults) event() {
+	if f.events != nil {
+		f.events.Inc()
+	}
+}
+
+// deliver moves this round's sends through the fault queues into the
+// mailboxes for the next round. sent[to] maps sender to message; the
+// result has the same shape. Iteration is by ascending (to, from) index —
+// never map order — so the generator's draw sequence is deterministic.
+func (f *netFaults) deliver(sent []map[int]any) []map[int]any {
+	n := len(sent)
+	out := make([]map[int]any, n)
+	for to := 0; to < n; to++ {
+		out[to] = map[int]any{}
+		for from := 0; from < n; from++ {
+			if msg, ok := sent[to][from]; ok {
+				f.queues[to][from] = append(f.queues[to][from], msg)
+			}
+			q := f.queues[to][from]
+			if len(q) == 0 {
+				continue
+			}
+			switch {
+			case f.rng.Float64() < f.adv.LossProb:
+				f.queues[to][from] = q[1:] // destroy the oldest
+				f.event()
+			case f.rng.Float64() < f.adv.DelayProb:
+				f.event() // deliver nothing this round
+			default:
+				i := 0
+				if len(q) > 1 && f.rng.Float64() < f.adv.ReorderProb {
+					i = len(q) - 1 // newest overtakes
+					f.event()
+				}
+				out[to][from] = q[i]
+				f.queues[to][from] = append(q[:i:i], q[i+1:]...)
+			}
+		}
+	}
+	return out
+}
+
+// RunAdversarial executes the protocol like Run, with adv injecting
+// message faults between rounds. A nil adversary is the fault-free Run.
+func RunAdversarial(g *Graph, protos []Proto, maxRounds int, adv *NetAdversary) (*Result, error) {
+	if adv == nil {
+		return Run(g, protos, maxRounds)
+	}
+	if err := adv.Validate(); err != nil {
+		return nil, err
+	}
+	return run(g, protos, maxRounds, newNetFaults(g.N, adv))
+}

@@ -136,8 +136,15 @@ type Result struct {
 // Run executes the protocol on the graph until every process has halted
 // or maxRounds is reached (returning an error in the latter case).
 // Each process runs in its own goroutine; rounds are separated by a
-// barrier, and message delivery is synchronous.
+// barrier, and message delivery is synchronous and reliable (see
+// RunAdversarial for execution under message faults).
 func Run(g *Graph, protos []Proto, maxRounds int) (*Result, error) {
+	return run(g, protos, maxRounds, nil)
+}
+
+// run is the shared round loop: faults == nil is the reliable substrate,
+// otherwise every round's sends pass through the adversary's queues.
+func run(g *Graph, protos []Proto, maxRounds int, faults *netFaults) (*Result, error) {
 	if len(protos) != g.N {
 		return nil, fmt.Errorf("msgnet: %d protocols for %d vertices", len(protos), g.N)
 	}
@@ -194,10 +201,23 @@ func Run(g *Graph, protos []Proto, maxRounds int) (*Result, error) {
 				active[v] = false
 			}
 		}
-		// Rotate mailboxes.
-		for v := range curr {
-			curr[v].msgs = next[v].msgs
-			next[v].msgs = map[int]any{}
+		// Rotate mailboxes, routing this round's sends through the
+		// adversary's fault queues when one is attached.
+		if faults != nil {
+			sent := make([]map[int]any, g.N)
+			for v := range next {
+				sent[v] = next[v].msgs
+			}
+			delivered := faults.deliver(sent)
+			for v := range curr {
+				curr[v].msgs = delivered[v]
+				next[v].msgs = map[int]any{}
+			}
+		} else {
+			for v := range curr {
+				curr[v].msgs = next[v].msgs
+				next[v].msgs = map[int]any{}
+			}
 		}
 	}
 	for v := range active {

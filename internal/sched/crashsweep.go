@@ -7,7 +7,8 @@ import (
 
 // ExploreCrashes runs a randomized crash-injection sweep behind the same
 // worker-pool API as the exhaustive exploration: opts.CrashRuns runs, each
-// scheduled by a RandomCrash policy seeded deterministically from
+// scheduled by the registered adversary's crash policy (opts.Adversary,
+// uniform-crash by default) seeded deterministically from
 // opts.Seed and the run index (DeriveRunSeed), distributed over
 // opts.Workers goroutines by the seeded-run pool (ExploreSeeded). check
 // sees every completed run, including runs with crashed processes
@@ -31,15 +32,16 @@ func ExploreCrashes(ctx context.Context, n int, ids []int, opts ExploreOptions, 
 }
 
 // CrashSweepPolicies returns the per-run policy constructor of a crash
-// sweep under opts: run i is scheduled by a RandomCrash policy seeded
-// with DeriveRunSeed(opts.Seed, i). The campaign subsystem uses it to
-// resume a sweep through the seeded-run pool (SeededSlice) with exactly
-// the policies ExploreCrashes would construct.
+// sweep under opts: run i is scheduled by the registered adversary's
+// policy (opts.Adversary; uniform-crash — RandomCrash — by default)
+// seeded with DeriveRunSeed(opts.Seed, i). The campaign subsystem uses
+// it to resume a sweep through the seeded-run pool (SeededSlice) with
+// exactly the policies ExploreCrashes would construct: every adversary's
+// state is a pure function of the run index, so resuming reconstructs it
+// without serializing policy internals.
 func CrashSweepPolicies(n int, opts ExploreOptions) func(run int) Policy {
 	opts = opts.withDefaults(n)
-	return func(i int) Policy {
-		return NewRandomCrash(DeriveRunSeed(opts.Seed, i), opts.CrashProb, opts.MaxCrashes)
-	}
+	return adversaryFor(opts).policies(n, opts)
 }
 
 // CrashSweepCheck returns the per-run visit function of a crash sweep:

@@ -94,6 +94,25 @@ type ExploreOptions struct {
 	// wait-free maximum).
 	MaxCrashes int
 
+	// Model names the registered memory model runs execute under (see
+	// MemModels, docs/models.md). "" or "atomic" is the default atomic
+	// register semantics — bit-identical to the pre-registry engine;
+	// "regular" and "safe" weaken writes into scheduler-visible
+	// write-start/write-commit step pairs; "stale-snapshot" degrades
+	// one-step snapshots into per-register collects. Unknown names are
+	// rejected by Validate with the registered list. The model is part of
+	// campaign identity (the options hash), so a checkpoint resumes only
+	// under the model that produced it.
+	Model string
+	// Adversary names the registered crash adversary that drives sweep
+	// mode (CrashRuns > 0; see Adversaries, docs/models.md). "" or
+	// "uniform-crash" is the default uniform sweep; "t-resilient"
+	// restricts crashes to a pre-drawn victim set of at most MaxCrashes
+	// processes; "adaptive" targets the most-advanced pending process.
+	// Unknown names are rejected by Validate with the registered list.
+	// Ignored outside sweep mode; part of campaign identity like Model.
+	Adversary string
+
 	// Stats, when non-nil, receives engine observability counters (runs,
 	// schedules, steals, aborts, prunes, frontier depth — see the Metric
 	// constants and docs/metrics.md). Publishing is a handful of atomic
@@ -124,9 +143,10 @@ type ExploreOptions struct {
 var ErrInvalidOptions = errors.New("sched: invalid exploration options")
 
 // Validate checks the option fields whose bad values would otherwise
-// surface only mid-exploration: a crash probability outside [0, 1] and
-// negative budgets. Zero-valued fields mean "use the default" and are
-// always valid.
+// surface only mid-exploration: a crash probability outside [0, 1],
+// negative budgets, and unregistered model/adversary names (the error
+// lists the registered names). Zero-valued fields mean "use the default"
+// and are always valid.
 func (o ExploreOptions) Validate() error {
 	if o.MaxRuns < 0 {
 		return fmt.Errorf("%w: MaxRuns %d is negative (0 means the default budget)", ErrInvalidOptions, o.MaxRuns)
@@ -154,6 +174,12 @@ func (o ExploreOptions) Validate() error {
 	}
 	if o.SampleRuns > 0 && o.CrashRuns > 0 {
 		return fmt.Errorf("%w: SampleRuns and CrashRuns are mutually exclusive modes", ErrInvalidOptions)
+	}
+	if _, err := MemModelByName(o.Model); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	if _, err := AdversaryByName(o.Adversary); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}
 	return nil
 }
@@ -311,6 +337,7 @@ type explorer struct {
 	indep Independence   // commutation oracle; nil without reduction
 	memo  *traceMemo     // canonical-trace dedupe; nil unless ReductionSleepMemo
 	met   *engineMetrics // resolved stats handles; nil when opts.Stats is nil
+	model MemModel       // resolved opts.Model, applied to every worker runner
 
 	mu   sync.Mutex
 	best *exploreFailure // lexicographically smallest failure seen
@@ -332,6 +359,7 @@ func newExplorer(ctx context.Context, n int, ids []int, opts ExploreOptions, bui
 		e.memo = newTraceMemo()
 	}
 	e.met = newEngineMetrics(opts.Stats)
+	e.model = memModelFor(opts)
 	e.ctx, e.cancel = context.WithCancel(ctx)
 	e.shards = make([]*exploreShard, opts.Workers)
 	for i := range e.shards {
@@ -381,7 +409,7 @@ func (e *explorer) worker(w int) {
 	// One reusable runner per worker: Reset re-arms it for every prefix
 	// re-execution, so the steady-state hot path allocates nothing but
 	// the per-run policy and protocol instance.
-	runner := NewRunner(e.n, e.ids, nil, WithMaxSteps(e.opts.MaxSteps), WithReuse())
+	runner := NewRunner(e.n, e.ids, nil, WithMaxSteps(e.opts.MaxSteps), WithReuse(), WithModel(e.model))
 	defer runner.Close()
 	idle := 0
 	for {

@@ -35,6 +35,13 @@ type Independence func(procA int, opA string, procB int, opB string) bool
 
 // readOnlyKinds are the op-name suffixes of operations that never mutate
 // their object; any two of them on the same object commute.
+//
+// The weak memory models (memmodel.go) decompose a write into a
+// "write-start"/"write-commit" step pair. Neither kind appears here, so
+// both phases conflict with every other op on the same object exactly as
+// a one-step "write" does — the relation consults the model's op labels
+// and stays conservatively sound without model-specific cases, at the
+// cost of exploring the (deliberately larger) weak-model state space.
 var readOnlyKinds = map[string]bool{
 	"read":     true,
 	"snapshot": true,

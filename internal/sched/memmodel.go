@@ -1,0 +1,125 @@
+// Memory-model registry: the register/snapshot semantics a run executes
+// under, as a first-class axis of the execution model.
+//
+// The paper's results are stated over atomic read/write registers; the
+// registry adds the classically weaker register families (Lamport's safe
+// and regular registers) and a stale-snapshot variant, so the solvability
+// map can be diffed across models (harness.ModelMatrixExperiment). A
+// model weakens semantics exclusively by adding scheduler-visible
+// decision points — a non-atomic write becomes a write-start/write-commit
+// step pair — never by hidden nondeterminism, so every run stays a pure
+// function of (model, schedule) and the exploration engines' determinism,
+// checkpointing and sharding guarantees carry over unchanged.
+//
+// Partial-order reduction stays sound by construction: the extra op kinds
+// ("write-start", "write-commit") are not in the independence relation's
+// read-only set, so they conflict with every other op on the same object
+// exactly as a one-step write does (see independence.go).
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Registered memory-model names (ExploreOptions.Model, gsbrun -model).
+const (
+	// ModelAtomic is the paper's model — atomic (linearizable) registers
+	// and one-step snapshots — and the default. Runs under it are
+	// bit-identical to the pre-registry engine.
+	ModelAtomic = "atomic"
+	// ModelRegular weakens writes to regular-register semantics: a write
+	// is a scheduler-visible write-start/write-commit step pair, and a
+	// read scheduled between the two returns the old (committed) value.
+	ModelRegular = "regular"
+	// ModelSafe weakens registers to safe-register semantics: writes are
+	// two-phase as under ModelRegular, and a read that overlaps an open
+	// write window returns an arbitrary value — represented
+	// deterministically as the unwritten zero value.
+	ModelSafe = "safe"
+	// ModelStaleSnapshot keeps registers atomic but degrades the one-step
+	// array snapshot into a per-register collect (n individual reads), so
+	// snapshots are no longer guaranteed to be mutually comparable.
+	ModelStaleSnapshot = "stale-snapshot"
+)
+
+// MemModel describes the shared-memory semantics of a run. The zero value
+// is the atomic model (the default): every capability reports false and
+// the runner's hot path is untouched. Obtain non-default models through
+// MemModelByName; internal/mem consults the capabilities through
+// Proc.Model on every register operation.
+type MemModel struct {
+	name           string
+	twoPhaseWrites bool
+	safeReads      bool
+	staleSnapshots bool
+}
+
+// Name returns the model's registered name ("atomic" for the zero value).
+func (m MemModel) Name() string {
+	if m.name == "" {
+		return ModelAtomic
+	}
+	return m.name
+}
+
+// String implements fmt.Stringer.
+func (m MemModel) String() string { return m.Name() }
+
+// TwoPhaseWrites reports whether a register write executes as a
+// scheduler-visible write-start/write-commit step pair instead of one
+// atomic step (regular and safe registers).
+func (m MemModel) TwoPhaseWrites() bool { return m.twoPhaseWrites }
+
+// SafeReads reports whether a read overlapping an open write window
+// returns the arbitrary (zero, unwritten) value instead of the committed
+// one (safe registers).
+func (m MemModel) SafeReads() bool { return m.safeReads }
+
+// StaleSnapshots reports whether array snapshots degrade to per-register
+// collects (n reads, each its own step) instead of one atomic step.
+func (m MemModel) StaleSnapshots() bool { return m.staleSnapshots }
+
+// memModelRegistry is the fixed, ordered model registry. A slice (not a
+// map) so listings and lookups are deterministic without sorting.
+var memModelRegistry = []MemModel{
+	{name: ModelAtomic},
+	{name: ModelRegular, twoPhaseWrites: true},
+	{name: ModelSafe, twoPhaseWrites: true, safeReads: true},
+	{name: ModelStaleSnapshot, staleSnapshots: true},
+}
+
+// MemModels lists the registered memory-model names in registry order
+// (the default first).
+func MemModels() []string {
+	names := make([]string, len(memModelRegistry))
+	for i, m := range memModelRegistry {
+		names[i] = m.name
+	}
+	return names
+}
+
+// MemModelByName resolves a registered model name. The empty string means
+// the default (atomic). Unknown names error with the registered list —
+// the message ExploreOptions.Validate and the CLIs surface.
+func MemModelByName(name string) (MemModel, error) {
+	if name == "" {
+		return MemModel{}, nil
+	}
+	for _, m := range memModelRegistry {
+		if m.name == name {
+			return m, nil
+		}
+	}
+	return MemModel{}, fmt.Errorf("unknown memory model %q (registered: %s)", name, strings.Join(MemModels(), ", "))
+}
+
+// memModelFor resolves opts.Model inside an engine whose options already
+// passed Validate; an unknown name here is an engine bug, not user input.
+func memModelFor(opts ExploreOptions) MemModel {
+	m, err := MemModelByName(opts.Model)
+	if err != nil {
+		panic("sched: " + err.Error() + " (options not validated?)")
+	}
+	return m
+}

@@ -36,6 +36,12 @@ const (
 	// MetricFrontierDepth gauges the exploration frontier: schedule
 	// prefixes queued or in flight.
 	MetricFrontierDepth = "gsb_frontier_depth"
+	// MetricAdversaryEvents counts adversary-injected fault events:
+	// crashes injected by the crash adversaries (seeded sweeps), and
+	// messages dropped, delayed or reordered by the message adversary
+	// (internal/msgnet publishes into the same name). Cumulative across
+	// kill/resume and summed by shard merges like every counter.
+	MetricAdversaryEvents = "gsb_adversary_events_total"
 )
 
 // engineMetrics carries the engine's resolved metric handles. The nil
@@ -47,6 +53,7 @@ type engineMetrics struct {
 	steals    *stats.Counter
 	aborts    *stats.Counter
 	prunes    *stats.Counter
+	advEvents *stats.Counter
 	frontier  *stats.Gauge
 }
 
@@ -62,6 +69,7 @@ func newEngineMetrics(r *stats.Registry) *engineMetrics {
 		steals:    r.Counter(MetricSteals, "Frontier work items stolen between exploration workers."),
 		aborts:    r.Counter(MetricAborts, "Sleep-set probe runs aborted by partial-order reduction."),
 		prunes:    r.Counter(MetricPrunes, "Frontier prefixes pruned against the lexicographic violation bound."),
+		advEvents: r.Counter(MetricAdversaryEvents, "Adversary-injected fault events: crashes (crash adversaries) and message drops/delays/reorders (message adversary)."),
 		frontier:  r.Gauge(MetricFrontierDepth, "Exploration frontier size: schedule prefixes queued or in flight."),
 	}
 }
@@ -98,6 +106,25 @@ func (m *engineMetrics) incAborts() {
 func (m *engineMetrics) incPrunes() {
 	if m != nil {
 		m.prunes.Inc()
+	}
+}
+
+// addCrashEvents publishes a completed seeded run's adversary-injected
+// crashes as adversary events.
+//
+//gsb:hotpath
+func (m *engineMetrics) addCrashEvents(crashed []bool) {
+	if m == nil {
+		return
+	}
+	var k int64
+	for _, c := range crashed {
+		if c {
+			k++
+		}
+	}
+	if k > 0 {
+		m.advEvents.Add(k)
 	}
 }
 

@@ -84,6 +84,13 @@ func (p *Proc) ID() int { return p.id }
 // N returns the number of processes in the system.
 func (p *Proc) N() int { return p.r.n }
 
+// Model returns the memory model the run executes under (the zero value —
+// atomic registers — unless the runner was built WithModel). internal/mem
+// consults it on every register operation.
+//
+//gsb:hotpath
+func (p *Proc) Model() MemModel { return p.r.model }
+
 // errCrashed unwinds a crashed process's coroutine. It is recovered by the
 // runner's wrapper; any other panic value is re-raised.
 var errCrashed = errors.New("sched: process crashed")
@@ -233,6 +240,7 @@ type Runner struct {
 	policy   Policy
 	maxSteps int
 	reuse    bool
+	model    MemModel
 
 	result *Result
 	procs  []*Proc
@@ -264,6 +272,14 @@ type Option func(*Runner)
 // non-wait-free loops and livelocks surface in tests.
 func WithMaxSteps(max int) Option {
 	return func(r *Runner) { r.maxSteps = max }
+}
+
+// WithModel selects the memory model the runner's runs execute under
+// (MemModelByName; the zero value is the default atomic model). The model
+// only changes which steps internal/mem objects request from the
+// scheduler — the runner itself schedules identically.
+func WithModel(m MemModel) Option {
+	return func(r *Runner) { r.model = m }
 }
 
 // WithReuse keeps the n process coroutines parked between runs instead of

@@ -215,6 +215,7 @@ func SeededSlice(ctx context.Context, n int, ids []int, opts ExploreOptions, tot
 		sliceEnd = state.Next + int64(sliceRuns)
 	}
 	met := newEngineMetrics(opts.Stats)
+	model := memModelFor(opts)
 
 	var (
 		next      atomic.Int64
@@ -249,7 +250,7 @@ func SeededSlice(ctx context.Context, n int, ids []int, opts ExploreOptions, tot
 			// One reusable runner per worker: Reset re-arms it with run
 			// i's derived policy, so the steady-state per-run cost is the
 			// policy, the protocol instance, and nothing else.
-			runner := NewRunner(n, ids, nil, WithMaxSteps(opts.MaxSteps), WithReuse())
+			runner := NewRunner(n, ids, nil, WithMaxSteps(opts.MaxSteps), WithReuse(), WithModel(model))
 			defer runner.Close()
 			for {
 				if ctx.Err() != nil {
@@ -273,6 +274,13 @@ func SeededSlice(ctx context.Context, n int, ids []int, opts ExploreOptions, tot
 				res, err := runner.Run(build())
 				completed.Add(1)
 				met.incRuns()
+				if err == nil {
+					// Crashes on a completed run are adversary-injected
+					// (samplers never crash, so this counts 0 for them);
+					// errored runs crash-unwind everyone, which is cleanup,
+					// not an adversary event.
+					met.addCrashEvents(res.Crashed)
+				}
 				if verr := visit(g, res, err); verr != nil {
 					record(g, verr)
 				}

@@ -61,11 +61,33 @@ func RunOn(runner *sched.Runner, policy sched.Policy, build func(n int) Solver) 
 	return runner.Run(Body(build(runner.N())))
 }
 
+// RunUnder is Run under a named memory model (sched.MemModels): the
+// shared objects execute with that model's register/snapshot semantics.
+// An empty name is the default atomic model; unknown names error.
+func RunUnder(model string, n int, ids []int, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
+	m, err := sched.MemModelByName(model)
+	if err != nil {
+		return nil, err
+	}
+	runner := sched.NewRunner(n, ids, policy, sched.WithMaxSteps(DefaultRunMaxSteps), sched.WithModel(m))
+	return runner.Run(Body(build(n)))
+}
+
 // RunVerified runs the protocol and checks its outputs against spec:
 // complete runs must produce a legal output vector; runs with crashes must
 // produce a legal completable prefix.
 func RunVerified(spec gsb.Spec, ids []int, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
 	res, err := Run(spec.N(), ids, policy, build)
+	if err != nil {
+		return res, err
+	}
+	return res, verifyResult(spec, res)
+}
+
+// RunVerifiedUnder is RunVerified under a named memory model: run via
+// RunUnder, then check the outputs against spec.
+func RunVerifiedUnder(model string, spec gsb.Spec, ids []int, policy sched.Policy, build func(n int) Solver) (*sched.Result, error) {
+	res, err := RunUnder(model, spec.N(), ids, policy, build)
 	if err != nil {
 		return res, err
 	}
