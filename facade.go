@@ -2,6 +2,7 @@ package repro
 
 import (
 	"repro/internal/campaign"
+	"repro/internal/fleet"
 	"repro/internal/gsb"
 	"repro/internal/harness"
 	"repro/internal/luby"
@@ -287,6 +288,42 @@ var (
 	ReadTimeline        = timeline.Read
 	MergeTimelines      = timeline.Merge
 	WriteTimeline       = timeline.WriteFile
+)
+
+// Verification fleet (internal/fleet): the distributed form of a
+// sharded campaign. A coordinator accepts submissions over the
+// gsbfleet/v1 HTTP/JSON API, deals shards to registered workers,
+// collects checkpoint snapshot uploads, re-deals the shard of a dead or
+// stale worker (the replacement resumes from the last uploaded
+// checkpoint), and auto-merges the finished shard set into a report
+// equal to an uninterrupted single-process run. cmd/gsbfleet is the CLI;
+// docs/fleet.md the guide.
+type (
+	// FleetSubmission is the body of POST /v1/campaigns — a campaign
+	// plus its shard count.
+	FleetSubmission = fleet.Submission
+	// FleetCoordinatorConfig/FleetWorkerConfig configure the two halves.
+	FleetCoordinatorConfig = fleet.CoordinatorConfig
+	FleetWorkerConfig      = fleet.WorkerConfig
+	// FleetCoordinator is the control plane (an http.Handler);
+	// FleetWorker a campaign-running agent.
+	FleetCoordinator = fleet.Coordinator
+	FleetWorker      = fleet.Worker
+	// FleetCampaignStatus / FleetStatus are the live status views.
+	FleetCampaignStatus = fleet.CampaignStatus
+	FleetStatus         = fleet.FleetStatus
+)
+
+var (
+	NewFleetCoordinator = fleet.NewCoordinator
+	NewFleetWorker      = fleet.NewWorker
+)
+
+// FleetSchema tags every gsbfleet/v1 API body; FleetStatusSchema the
+// fleet-level /status response.
+const (
+	FleetSchema       = fleet.Schema
+	FleetStatusSchema = fleet.FleetStatusSchema
 )
 
 // Profile-diff regression explanations (internal/profdiff): a minimal

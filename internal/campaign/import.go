@@ -1,0 +1,41 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// This file is the snapshot upload/import surface the fleet layer
+// (internal/fleet) builds on: a coordinator receives whole snapshot
+// files as byte blobs from workers (or from an operator importing an
+// externally-run shard), and must validate them and read their progress
+// and observability totals without ever trusting the sender — the same
+// decoder discipline the resume path applies to local files.
+
+// DecodeUploaded validates a complete snapshot's bytes — magic, format
+// version, header hash, exactly-one-engine-state payload — and returns
+// its header plus the cumulative stats snapshot the payload carries (nil
+// for snapshots written by a build predating the stats field). A
+// tampered or truncated blob is a loud error; name labels it.
+func DecodeUploaded(data []byte, name string) (Header, *stats.Snapshot, error) {
+	h, p, err := decodeSnapshot(data)
+	if err != nil {
+		return h, nil, fmt.Errorf("campaign: %s: %w", name, err)
+	}
+	return h, p.Stats, nil
+}
+
+// Identity renders the campaign identity a config defines — mode, task,
+// options and their hash — without running anything: the header every
+// shard snapshot of the campaign must match. The fleet coordinator
+// computes it once per submission and checks every uploaded snapshot's
+// OptionsHash against it, so a worker (or operator) can never slip a
+// shard from a different campaign, option set or shard count into the
+// merge.
+func Identity(cfg Config) (Header, error) {
+	if err := cfg.normalize(); err != nil {
+		return Header{}, err
+	}
+	return cfg.header(), nil
+}

@@ -1,0 +1,1072 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sample"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/timeline"
+)
+
+// Fleet-level metric names (docs/metrics.md). The engine-layer
+// aggregates served on /metrics are the shards' own cumulative counters
+// summed from their latest uploaded snapshots; these count the
+// coordinator's own control-plane events.
+const (
+	// MetricRedeals counts shard re-deals: a queued-again shard whose
+	// previous owner died, went stale, or drained.
+	MetricRedeals = "gsb_fleet_redeals_total"
+	// MetricUploads counts accepted snapshot uploads;
+	// MetricUploadsRejected counts rejected ones (tampered, stale owner,
+	// wrong campaign, regressing progress).
+	MetricUploads         = "gsb_fleet_uploads_total"
+	MetricUploadsRejected = "gsb_fleet_uploads_rejected_total"
+	// MetricWorkers gauges currently registered workers.
+	MetricWorkers = "gsb_fleet_workers"
+	// MetricShardsQueued/Running/Done gauge the shard queue.
+	MetricShardsQueued  = "gsb_fleet_shards_queued"
+	MetricShardsRunning = "gsb_fleet_shards_running"
+	MetricShardsDone    = "gsb_fleet_shards_done"
+)
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// DataDir is where uploaded shard snapshots and sidecars are
+	// persisted (one subdirectory per campaign). Required.
+	DataDir string
+	// HeartbeatTimeout is how long a worker may go silent before it is
+	// declared dead and its shard re-dealt (default 10s). The interval
+	// workers are told to heartbeat at is a third of it.
+	HeartbeatTimeout time.Duration
+	// StaleCheckpoint re-deals a running shard whose last accepted
+	// snapshot upload (or deal, if none yet) is older than this, even if
+	// its worker still heartbeats — a wedged worker holds a lease but
+	// makes no progress (default 2m; <0 disables).
+	StaleCheckpoint time.Duration
+	// ReconcileEvery is the reconcile-loop tick (default 1s).
+	ReconcileEvery time.Duration
+	// Logf, when set, receives control-plane event logs.
+	Logf func(format string, args ...any)
+}
+
+func (c *CoordinatorConfig) normalize() error {
+	if c.DataDir == "" {
+		return fmt.Errorf("fleet: coordinator needs a data dir")
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.StaleCheckpoint == 0 {
+		c.StaleCheckpoint = 2 * time.Minute
+	}
+	if c.ReconcileEvery <= 0 {
+		c.ReconcileEvery = time.Second
+	}
+	return nil
+}
+
+// shardRef addresses one shard of one campaign in the job queue.
+type shardRef struct {
+	id    string
+	shard int
+}
+
+// shardState is the coordinator's view of one shard.
+type shardState struct {
+	state   string // "queued" | "running" | "done" | "failed"
+	worker  string // owning worker id while running
+	redeals int
+	errMsg  string // terminal engine error (failed state)
+
+	// Latest accepted upload: the snapshot blob (what a re-deal hands
+	// to the next worker), its sidecar, its header, and the cumulative
+	// stats it carries. Aggregations read ONLY these per-shard latest
+	// values — never a sum over uploads — which is what keeps a
+	// re-dealt shard's pre-crash runs from being counted twice.
+	snapshot  []byte
+	timeline  []byte
+	header    campaign.Header
+	stats     *stats.Snapshot
+	haveCkpt  bool
+	touchedAt time.Time // last accepted upload, or the deal time
+}
+
+// campaignState is one submitted campaign.
+type campaignState struct {
+	id      string
+	sub     Submission
+	task    string // rendered task spec
+	want    campaign.Header
+	shards  []*shardState
+	dir     string
+	merging bool
+	done    bool
+	report  *campaign.Report
+	errMsg  string // merge / shard failure
+
+	// Coordinator-anchored rate: previous aggregate run count and its
+	// observation time. Unlike a worker-side observer, this base never
+	// resets when a process dies — the aggregate is over cumulative
+	// per-shard counters, so the rate and ETA survive re-deals.
+	lastRuns   int64
+	lastRunsAt time.Time
+	runsPerSec float64
+}
+
+// workerState is one registered worker session.
+type workerState struct {
+	id       string
+	name     string
+	lastBeat time.Time
+	owns     *shardRef
+	draining bool
+}
+
+// Coordinator is the fleet control plane: an http.Handler serving the
+// gsbfleet/v1 API plus the aggregated /status, /metrics and /timeline
+// endpoints. Create with NewCoordinator, serve its Handler, and Close it
+// to stop the reconcile loop.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu        sync.Mutex
+	campaigns map[string]*campaignState
+	order     []string
+	workers   map[string]*workerState
+	queue     []shardRef
+	campSeq   int
+	workerSeq int
+
+	reg             *stats.Registry
+	redeals         *stats.Counter
+	uploads         *stats.Counter
+	uploadsRejected *stats.Counter
+	workersGauge    *stats.Gauge
+	queuedGauge     *stats.Gauge
+	runningGauge    *stats.Gauge
+	doneGauge       *stats.Gauge
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	mux     *http.ServeMux
+}
+
+// NewCoordinator creates a coordinator and starts its reconcile loop.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: data dir: %w", err)
+	}
+	reg := stats.New()
+	c := &Coordinator{
+		cfg:       cfg,
+		campaigns: map[string]*campaignState{},
+		workers:   map[string]*workerState{},
+		reg:       reg,
+		redeals:   reg.Counter(MetricRedeals, "Shard re-deals after a worker died, went stale, or drained."),
+		uploads:   reg.Counter(MetricUploads, "Accepted shard snapshot uploads."),
+		uploadsRejected: reg.Counter(MetricUploadsRejected,
+			"Rejected shard snapshot uploads (tampered, stale owner, wrong campaign, regressing progress)."),
+		workersGauge: reg.Gauge(MetricWorkers, "Currently registered workers."),
+		queuedGauge:  reg.Gauge(MetricShardsQueued, "Shards waiting in the job queue."),
+		runningGauge: reg.Gauge(MetricShardsRunning, "Shards currently leased to a worker."),
+		doneGauge:    reg.Gauge(MetricShardsDone, "Shards completed."),
+		stop:         make(chan struct{}),
+	}
+	c.buildMux()
+	c.stopped.Add(1)
+	go c.reconcileLoop()
+	return c, nil
+}
+
+// Close stops the reconcile loop. In-flight HTTP requests finish.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.stopped.Wait()
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// reconcileLoop periodically expires dead workers, re-deals stale
+// shards, refreshes the rate anchors and triggers merges.
+func (c *Coordinator) reconcileLoop() {
+	defer c.stopped.Done()
+	t := time.NewTicker(c.cfg.ReconcileEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.reconcile(time.Now())
+		}
+	}
+}
+
+// reconcile is one pass of the control loop.
+func (c *Coordinator) reconcile(now time.Time) {
+	c.mu.Lock()
+	for id, w := range c.workers {
+		if now.Sub(w.lastBeat) > c.cfg.HeartbeatTimeout {
+			c.logf("fleet: worker %s (%s) missed heartbeats for %s, declaring dead", w.name, id, now.Sub(w.lastBeat).Round(time.Millisecond))
+			c.dropWorkerLocked(w, "died")
+		}
+	}
+	if c.cfg.StaleCheckpoint > 0 {
+		for _, id := range c.order {
+			cs := c.campaigns[id]
+			for i, sh := range cs.shards {
+				if sh.state == "running" && now.Sub(sh.touchedAt) > c.cfg.StaleCheckpoint {
+					c.logf("fleet: campaign %s shard %d checkpoint is stale (%s), re-dealing", id, i, now.Sub(sh.touchedAt).Round(time.Millisecond))
+					c.requeueShardLocked(cs, i, "stale")
+				}
+			}
+		}
+	}
+	for _, id := range c.order {
+		c.refreshRateLocked(c.campaigns[id], now)
+	}
+	c.refreshGaugesLocked()
+	merges := c.collectMergesLocked()
+	c.mu.Unlock()
+	for _, id := range merges {
+		c.merge(id)
+	}
+}
+
+// dropWorkerLocked removes a worker session and re-queues its shard.
+func (c *Coordinator) dropWorkerLocked(w *workerState, why string) {
+	if w.owns != nil {
+		if cs, ok := c.campaigns[w.owns.id]; ok {
+			c.requeueShardLocked(cs, w.owns.shard, why)
+		}
+	}
+	delete(c.workers, w.id)
+}
+
+// requeueShardLocked returns a running shard to the queue (a re-deal:
+// the next lease resumes it from its latest uploaded snapshot).
+func (c *Coordinator) requeueShardLocked(cs *campaignState, shard int, why string) {
+	sh := cs.shards[shard]
+	if sh.state != "running" {
+		return
+	}
+	if w, ok := c.workers[sh.worker]; ok && w.owns != nil && w.owns.id == cs.id && w.owns.shard == shard {
+		w.owns = nil
+	}
+	sh.state = "queued"
+	sh.worker = ""
+	sh.redeals++
+	sh.touchedAt = time.Now()
+	c.redeals.Inc()
+	c.queue = append(c.queue, shardRef{cs.id, shard})
+	c.logf("fleet: campaign %s shard %d re-queued (%s, redeal %d, resumes at %d runs)", cs.id, shard, why, sh.redeals, sh.header.Runs)
+}
+
+// refreshRateLocked updates the campaign's coordinator-anchored rate
+// from the aggregate cumulative run count. The base advances only when
+// runs advance, so worker deaths (which never decrease the aggregate —
+// it sums latest-per-shard cumulative counters) never reset the rate.
+func (c *Coordinator) refreshRateLocked(cs *campaignState, now time.Time) {
+	runs := aggregateRunsLocked(cs)
+	if cs.lastRunsAt.IsZero() {
+		cs.lastRuns, cs.lastRunsAt = runs, now
+		return
+	}
+	dt := now.Sub(cs.lastRunsAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	if runs > cs.lastRuns {
+		cs.runsPerSec = float64(runs-cs.lastRuns) / dt
+		cs.lastRuns, cs.lastRunsAt = runs, now
+	} else if dt > 30 {
+		// No progress for a long window: decay the rate so the ETA does
+		// not advertise a throughput the fleet no longer has.
+		cs.runsPerSec = 0
+		cs.lastRunsAt = now
+	}
+}
+
+func aggregateRunsLocked(cs *campaignState) int64 {
+	var runs int64
+	for _, sh := range cs.shards {
+		runs += sh.header.Runs
+	}
+	return runs
+}
+
+func (c *Coordinator) refreshGaugesLocked() {
+	var queued, running, done int64
+	for _, cs := range c.campaigns {
+		for _, sh := range cs.shards {
+			switch sh.state {
+			case "queued":
+				queued++
+			case "running":
+				running++
+			case "done":
+				done++
+			}
+		}
+	}
+	c.queuedGauge.Set(queued)
+	c.runningGauge.Set(running)
+	c.doneGauge.Set(done)
+	c.workersGauge.Set(int64(len(c.workers)))
+}
+
+// collectMergesLocked flags campaigns whose whole shard set is done and
+// whose merge has not started yet.
+func (c *Coordinator) collectMergesLocked() []string {
+	var ids []string
+	for _, id := range c.order {
+		cs := c.campaigns[id]
+		if cs.done || cs.merging || cs.errMsg != "" {
+			continue
+		}
+		all := true
+		for _, sh := range cs.shards {
+			if sh.state != "done" {
+				all = false
+				break
+			}
+		}
+		if all {
+			cs.merging = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// merge runs the exact shard merge of a finished campaign and stores the
+// final report. The heavy counting pass runs outside the lock.
+func (c *Coordinator) merge(id string) {
+	c.mu.Lock()
+	cs := c.campaigns[id]
+	paths := make([]string, len(cs.shards))
+	for i := range cs.shards {
+		paths[i] = c.shardPath(cs, i)
+	}
+	cfg, err := cs.sub.config(0, paths[0])
+	c.mu.Unlock()
+	var rep campaign.Report
+	var verdict error
+	if err == nil {
+		rep, verdict = campaign.Merge(context.Background(), cfg, paths)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs.merging = false
+	switch {
+	case err != nil:
+		cs.errMsg = err.Error()
+	case verdict != nil && !rep.Done:
+		// Merge itself failed (missing/duplicate shard, hash drift) —
+		// operational error, not a campaign verdict.
+		cs.errMsg = verdict.Error()
+	default:
+		cs.done = true
+		cs.report = &rep
+		c.logf("fleet: campaign %s merged: %d schedules, violation=%q", id, rep.Schedules, rep.Violation)
+	}
+}
+
+// shardPath is the on-disk home of a shard's latest uploaded snapshot.
+func (c *Coordinator) shardPath(cs *campaignState, shard int) string {
+	return filepath.Join(cs.dir, fmt.Sprintf("shard%d.ckpt", shard))
+}
+
+// persistShard writes a shard's uploaded snapshot (and sidecar) to the
+// data dir with the checkpoint layer's atomic rename discipline.
+func (c *Coordinator) persistShard(cs *campaignState, shard int, snapshot, sidecar []byte) error {
+	path := c.shardPath(cs, shard)
+	if err := atomicWrite(path, snapshot); err != nil {
+		return err
+	}
+	if len(sidecar) > 0 {
+		if err := atomicWrite(timeline.SidecarPath(path), sidecar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fleet: %s: %w", path, err)
+	}
+	return nil
+}
+
+// Submit registers a new campaign and queues its shards. It is the
+// programmatic form of POST /v1/campaigns.
+func (c *Coordinator) Submit(sub Submission) (SubmitResponse, error) {
+	if err := sub.Validate(); err != nil {
+		return SubmitResponse{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.campSeq++
+	id := fmt.Sprintf("c%04d", c.campSeq)
+	dir := filepath.Join(c.cfg.DataDir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return SubmitResponse{}, fmt.Errorf("fleet: %w", err)
+	}
+	cfg, err := sub.config(0, filepath.Join(dir, "shard0.ckpt"))
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	want, err := campaign.Identity(cfg)
+	if err != nil {
+		return SubmitResponse{}, fmt.Errorf("fleet: %w", err)
+	}
+	cs := &campaignState{id: id, sub: sub, task: cfg.Spec.String(), want: want, dir: dir}
+	now := time.Now()
+	for i := 0; i < sub.Shards; i++ {
+		cs.shards = append(cs.shards, &shardState{state: "queued", touchedAt: now})
+		c.queue = append(c.queue, shardRef{id, i})
+	}
+	c.campaigns[id] = cs
+	c.order = append(c.order, id)
+	c.logf("fleet: campaign %s submitted: %s n=%d mode=%s, %d shards", id, sub.Protocol, sub.N, sub.Mode, sub.Shards)
+	return SubmitResponse{Schema: Schema, ID: id, Shards: sub.Shards}, nil
+}
+
+// register adds a worker session.
+func (c *Coordinator) register(req RegisterRequest) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workerSeq++
+	id := fmt.Sprintf("w%04d", c.workerSeq)
+	name := req.Name
+	if name == "" {
+		name = id
+	}
+	for _, w := range c.workers {
+		if w.name == name {
+			name = name + "-" + id
+			break
+		}
+	}
+	c.workers[id] = &workerState{id: id, name: name, lastBeat: time.Now()}
+	c.workersGauge.Set(int64(len(c.workers)))
+	c.logf("fleet: worker %s registered as %s", name, id)
+	return RegisterResponse{
+		Schema: Schema, WorkerID: id, Name: name,
+		HeartbeatSec: (c.cfg.HeartbeatTimeout / 3).Seconds(),
+	}
+}
+
+// lease hands the queue head to a worker; ok is false when the queue is
+// empty or the worker is draining.
+func (c *Coordinator) lease(workerID string) (Task, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return Task{}, false, fmt.Errorf("fleet: unknown worker %q (register first)", workerID)
+	}
+	w.lastBeat = time.Now()
+	if w.draining || w.owns != nil {
+		return Task{}, false, nil
+	}
+	for len(c.queue) > 0 {
+		ref := c.queue[0]
+		c.queue = c.queue[1:]
+		cs, ok := c.campaigns[ref.id]
+		if !ok {
+			continue
+		}
+		sh := cs.shards[ref.shard]
+		if sh.state != "queued" {
+			continue // completed by an import, or re-queued twice
+		}
+		sh.state = "running"
+		sh.worker = workerID
+		sh.touchedAt = time.Now()
+		w.owns = &shardRef{ref.id, ref.shard}
+		c.logf("fleet: campaign %s shard %d dealt to %s (resume from %d runs)", ref.id, ref.shard, w.name, sh.header.Runs)
+		return Task{
+			CampaignID: ref.id, Shard: ref.shard, Submission: cs.sub,
+			Snapshot: sh.snapshot, Timeline: sh.timeline,
+		}, true, nil
+	}
+	return Task{}, false, nil
+}
+
+// heartbeat refreshes a worker's liveness.
+func (c *Coordinator) heartbeat(workerID string) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return HeartbeatResponse{}, fmt.Errorf("fleet: unknown worker %q (lease lost; re-register)", workerID)
+	}
+	w.lastBeat = time.Now()
+	return HeartbeatResponse{Schema: Schema, Drain: w.draining}, nil
+}
+
+// release returns a draining worker's shard to the queue.
+func (c *Coordinator) release(workerID string, req ReleaseRequest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown worker %q", workerID)
+	}
+	cs, ok := c.campaigns[req.CampaignID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown campaign %q", req.CampaignID)
+	}
+	if req.Shard < 0 || req.Shard >= len(cs.shards) {
+		return fmt.Errorf("fleet: campaign %s has no shard %d", req.CampaignID, req.Shard)
+	}
+	sh := cs.shards[req.Shard]
+	if sh.worker != workerID {
+		return nil // already re-dealt; nothing to release
+	}
+	c.requeueShardLocked(cs, req.Shard, "released by "+w.name)
+	return nil
+}
+
+// deregister removes a worker session (the drain handshake's last step).
+func (c *Coordinator) deregister(workerID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[workerID]; ok {
+		c.dropWorkerLocked(w, "deregistered")
+		c.workersGauge.Set(int64(len(c.workers)))
+	}
+}
+
+// failShard records a terminal engine error on a shard (invalid or
+// exhausted budget — errors a resume cannot fix), failing the campaign.
+func (c *Coordinator) failShard(workerID, campaignID string, shard int, msg string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.campaigns[campaignID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown campaign %q", campaignID)
+	}
+	if shard < 0 || shard >= len(cs.shards) {
+		return fmt.Errorf("fleet: campaign %s has no shard %d", campaignID, shard)
+	}
+	sh := cs.shards[shard]
+	if workerID != "" && sh.worker != workerID {
+		return fmt.Errorf("fleet: worker %s no longer owns campaign %s shard %d", workerID, campaignID, shard)
+	}
+	if w, ok := c.workers[sh.worker]; ok {
+		w.owns = nil
+	}
+	sh.state = "failed"
+	sh.worker = ""
+	sh.errMsg = msg
+	if cs.errMsg == "" {
+		cs.errMsg = fmt.Sprintf("shard %d failed: %s", shard, msg)
+	}
+	c.logf("fleet: campaign %s shard %d failed: %s", campaignID, shard, msg)
+	return nil
+}
+
+// upload validates and accepts a shard snapshot. The fences, in order:
+// the campaign and shard must exist; the uploader must own the shard (an
+// empty worker id — an operator import — is accepted only while no
+// worker does); the blob must decode as a snapshot whose header hash,
+// shard index and shard count match the campaign identity; and progress
+// must not regress the latest accepted snapshot. Every rejection is
+// loud, counted, and changes nothing.
+func (c *Coordinator) upload(campaignID string, shard int, req UploadRequest) (UploadResponse, error) {
+	h, snapStats, err := campaign.DecodeUploaded(req.Snapshot, fmt.Sprintf("upload for %s shard %d", campaignID, shard))
+	if err != nil {
+		c.uploadsRejected.Inc()
+		return UploadResponse{}, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	if len(req.Timeline) > 0 {
+		if _, terr := timeline.Decode(req.Timeline, "uploaded sidecar"); terr != nil {
+			c.uploadsRejected.Inc()
+			return UploadResponse{}, &httpError{http.StatusBadRequest, terr.Error()}
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.campaigns[campaignID]
+	if !ok {
+		c.uploadsRejected.Inc()
+		return UploadResponse{}, &httpError{http.StatusNotFound, fmt.Sprintf("fleet: unknown campaign %q", campaignID)}
+	}
+	if shard < 0 || shard >= len(cs.shards) {
+		c.uploadsRejected.Inc()
+		return UploadResponse{}, &httpError{http.StatusNotFound, fmt.Sprintf("fleet: campaign %s has no shard %d", campaignID, shard)}
+	}
+	sh := cs.shards[shard]
+	if sh.state == "done" {
+		c.uploadsRejected.Inc()
+		return UploadResponse{}, &httpError{http.StatusConflict, fmt.Sprintf("fleet: campaign %s shard %d is already done", campaignID, shard)}
+	}
+	if req.WorkerID != "" {
+		if sh.worker != req.WorkerID {
+			// The fencing that makes re-deals safe: a zombie worker whose
+			// shard moved on gets a conflict, abandons the run, and its
+			// stale bytes never land.
+			c.uploadsRejected.Inc()
+			return UploadResponse{}, &httpError{http.StatusConflict,
+				fmt.Sprintf("fleet: worker %s no longer owns campaign %s shard %d", req.WorkerID, campaignID, shard)}
+		}
+	} else if sh.state == "running" {
+		c.uploadsRejected.Inc()
+		return UploadResponse{}, &httpError{http.StatusConflict,
+			fmt.Sprintf("fleet: campaign %s shard %d is leased to a worker; imports need an idle shard", campaignID, shard)}
+	}
+	if h.OptionsHash != cs.want.OptionsHash {
+		c.uploadsRejected.Inc()
+		return UploadResponse{}, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("fleet: snapshot hash %s does not match campaign %s (%s): wrong campaign or tampered header", h.OptionsHash, campaignID, cs.want.OptionsHash)}
+	}
+	if h.Shard != shard || h.Of != cs.sub.Shards {
+		c.uploadsRejected.Inc()
+		return UploadResponse{}, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("fleet: snapshot is shard %d/%d, endpoint is shard %d/%d", h.Shard, h.Of, shard, cs.sub.Shards)}
+	}
+	if sh.haveCkpt && h.Runs < sh.header.Runs {
+		c.uploadsRejected.Inc()
+		return UploadResponse{}, &httpError{http.StatusConflict,
+			fmt.Sprintf("fleet: snapshot regresses shard %d from %d to %d runs", shard, sh.header.Runs, h.Runs)}
+	}
+	if err := c.persistShard(cs, shard, req.Snapshot, req.Timeline); err != nil {
+		return UploadResponse{}, err
+	}
+	sh.snapshot = req.Snapshot
+	if len(req.Timeline) > 0 {
+		sh.timeline = req.Timeline
+	}
+	sh.header = h
+	sh.stats = snapStats
+	sh.haveCkpt = true
+	sh.touchedAt = time.Now()
+	c.uploads.Inc()
+	if h.Done {
+		sh.state = "done"
+		sh.worker = ""
+		if req.WorkerID != "" {
+			if w, ok := c.workers[req.WorkerID]; ok && w.owns != nil && w.owns.id == campaignID && w.owns.shard == shard {
+				w.owns = nil
+			}
+		}
+		c.logf("fleet: campaign %s shard %d done after %d runs", campaignID, shard, h.Runs)
+	}
+	return UploadResponse{Schema: Schema, Done: h.Done, Runs: h.Runs}, nil
+}
+
+// campaignStatusLocked renders one campaign's live view.
+func (c *Coordinator) campaignStatusLocked(cs *campaignState, now time.Time) CampaignStatus {
+	st := CampaignStatus{
+		Schema: Schema, ID: cs.id, Submission: cs.sub, Task: cs.task,
+		Done: cs.done, Report: cs.report, Error: cs.errMsg,
+	}
+	if cs.report != nil {
+		st.Violation = cs.report.Violation
+	}
+	snaps := make([]stats.Snapshot, 0, len(cs.shards))
+	running, done, failed := 0, 0, 0
+	for i, sh := range cs.shards {
+		row := ShardStatus{
+			Shard: i, State: sh.state, Runs: sh.header.Runs,
+			Done: sh.header.Done, Redeals: sh.redeals, Error: sh.errMsg,
+		}
+		if w, ok := c.workers[sh.worker]; ok {
+			row.Worker = w.name
+		}
+		if sh.haveCkpt {
+			row.UploadAgeSec = now.Sub(sh.touchedAt).Seconds()
+			snaps = append(snaps, *orEmpty(sh.stats))
+		}
+		st.Shards = append(st.Shards, row)
+		st.Redeals += sh.redeals
+		switch sh.state {
+		case "running":
+			running++
+		case "done":
+			done++
+		case "failed":
+			failed++
+		}
+	}
+	// Aggregate = sum of the LATEST snapshot per shard. Each shard's
+	// snapshot is already cumulative across its own process lives, so
+	// this equals an uninterrupted run's totals and never double-counts
+	// a re-dealt shard's pre-crash work (fleet_test pins this).
+	agg := stats.Sum(snaps...)
+	st.Runs = aggregateRunsLocked(cs) // header progress, also the rate anchor's input
+	st.Schedules = agg.Counter(sched.MetricSchedules)
+	st.Classes = agg.Counter(sample.MetricClasses)
+	switch cs.sub.Mode {
+	case "walk", "pct", "crash":
+		st.TotalRuns = int64(cs.sub.Runs)
+	}
+	st.RunsPerSec = cs.runsPerSec
+	if st.TotalRuns > 0 && st.RunsPerSec > 0 && !cs.done {
+		if left := st.TotalRuns - st.Runs; left > 0 {
+			st.ETASec = float64(left) / st.RunsPerSec
+		}
+	}
+	switch {
+	case cs.done:
+		st.State = "done"
+	case cs.errMsg != "" && cs.report == nil:
+		st.State = "failed"
+	case cs.merging:
+		st.State = "merging"
+	case running > 0:
+		st.State = "running"
+	case done+failed == len(cs.shards):
+		st.State = "merging"
+	default:
+		st.State = "queued"
+	}
+	return st
+}
+
+func orEmpty(s *stats.Snapshot) *stats.Snapshot {
+	if s == nil {
+		return &stats.Snapshot{}
+	}
+	return s
+}
+
+// status renders the fleet-wide aggregate view.
+func (c *Coordinator) status() FleetStatus {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := FleetStatus{Schema: FleetStatusSchema, Workers: []WorkerStatus{}, Campaigns: []CampaignStatus{}}
+	names := make([]string, 0, len(c.workers))
+	byName := map[string]*workerState{}
+	for _, w := range c.workers {
+		names = append(names, w.name)
+		byName[w.name] = w
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := byName[name]
+		row := WorkerStatus{Name: name, HeartbeatAgeSec: now.Sub(w.lastBeat).Seconds(), Draining: w.draining}
+		if w.owns != nil {
+			row.Shard = fmt.Sprintf("%s/%d", w.owns.id, w.owns.shard)
+		}
+		st.Workers = append(st.Workers, row)
+	}
+	for _, id := range c.order {
+		cst := c.campaignStatusLocked(c.campaigns[id], now)
+		st.Campaigns = append(st.Campaigns, cst)
+		st.Redeals += cst.Redeals
+		st.Runs += cst.Runs
+		for _, sh := range cst.Shards {
+			switch sh.State {
+			case "queued":
+				st.Queued++
+			case "running":
+				st.Running++
+			case "done":
+				st.Done++
+			case "failed":
+				st.Failed++
+			}
+		}
+	}
+	return st
+}
+
+// httpError carries a status code through the handler plumbing.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// Handler serves the gsbfleet/v1 API and the fleet observability
+// endpoints (GET /status, /metrics, /timeline and the campaign and
+// worker routes under /v1/; docs/fleet.md documents every route).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+func (c *Coordinator) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var sub Submission
+		if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "fleet: submission is not JSON: " + err.Error()})
+			return
+		}
+		resp, err := c.Submit(sub)
+		if err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, err.Error()})
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		c.mu.Lock()
+		out := make([]CampaignStatus, 0, len(c.order))
+		for _, id := range c.order {
+			out = append(out, c.campaignStatusLocked(c.campaigns[id], now))
+		}
+		c.mu.Unlock()
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		cs, ok := c.campaigns[r.PathValue("id")]
+		var st CampaignStatus
+		if ok {
+			st = c.campaignStatusLocked(cs, time.Now())
+		}
+		c.mu.Unlock()
+		if !ok {
+			writeErr(w, &httpError{http.StatusNotFound, fmt.Sprintf("fleet: unknown campaign %q", r.PathValue("id"))})
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		cs, ok := c.campaigns[r.PathValue("id")]
+		var st CampaignStatus
+		if ok {
+			st = c.campaignStatusLocked(cs, time.Now())
+		}
+		c.mu.Unlock()
+		switch {
+		case !ok:
+			writeErr(w, &httpError{http.StatusNotFound, fmt.Sprintf("fleet: unknown campaign %q", r.PathValue("id"))})
+		case st.State == "failed":
+			writeJSON(w, st)
+		case !st.Done:
+			writeErr(w, &httpError{http.StatusConflict, fmt.Sprintf("fleet: campaign %s is not done (%s)", st.ID, st.State)})
+		default:
+			writeJSON(w, st)
+		}
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		recs, err := c.campaignTimeline(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, recs)
+	})
+	mux.HandleFunc("POST /v1/campaigns/{id}/shards/{shard}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		shard, err := strconv.Atoi(r.PathValue("shard"))
+		if err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "fleet: shard index is not an integer"})
+			return
+		}
+		var req UploadRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "fleet: upload is not JSON: " + err.Error()})
+			return
+		}
+		resp, uerr := c.upload(r.PathValue("id"), shard, req)
+		if uerr != nil {
+			writeErr(w, uerr)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/campaigns/{id}/shards/{shard}/fail", func(w http.ResponseWriter, r *http.Request) {
+		shard, err := strconv.Atoi(r.PathValue("shard"))
+		if err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "fleet: shard index is not an integer"})
+			return
+		}
+		var req struct {
+			Schema   string `json:"schema"`
+			WorkerID string `json:"worker_id"`
+			Error    string `json:"error"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "fleet: fail report is not JSON: " + err.Error()})
+			return
+		}
+		if err := c.failShard(req.WorkerID, r.PathValue("id"), shard, req.Error); err != nil {
+			writeErr(w, &httpError{http.StatusConflict, err.Error()})
+			return
+		}
+		writeJSON(w, map[string]string{"schema": Schema})
+	})
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "fleet: registration is not JSON: " + err.Error()})
+			return
+		}
+		writeJSON(w, c.register(req))
+	})
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := c.heartbeat(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, &httpError{http.StatusNotFound, err.Error()})
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/workers/{id}/lease", func(w http.ResponseWriter, r *http.Request) {
+		task, ok, err := c.lease(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, &httpError{http.StatusNotFound, err.Error()})
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, LeaseResponse{Schema: Schema, Task: task})
+	})
+	mux.HandleFunc("POST /v1/workers/{id}/release", func(w http.ResponseWriter, r *http.Request) {
+		var req ReleaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &httpError{http.StatusBadRequest, "fleet: release is not JSON: " + err.Error()})
+			return
+		}
+		if err := c.release(r.PathValue("id"), req); err != nil {
+			writeErr(w, &httpError{http.StatusNotFound, err.Error()})
+			return
+		}
+		writeJSON(w, map[string]string{"schema": Schema})
+	})
+	mux.HandleFunc("DELETE /v1/workers/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c.deregister(r.PathValue("id"))
+		writeJSON(w, map[string]string{"schema": Schema})
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.status())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Fleet control-plane metrics first, then the engine counters
+		// aggregated from the latest snapshot of every shard, rendered
+		// through a scratch registry (restoring into the live fleet
+		// registry would double-count across scrapes).
+		_ = c.reg.WritePrometheus(w)
+		c.mu.Lock()
+		snaps := make([]stats.Snapshot, 0)
+		for _, cs := range c.campaigns {
+			for _, sh := range cs.shards {
+				if sh.haveCkpt {
+					snaps = append(snaps, *orEmpty(sh.stats))
+				}
+			}
+		}
+		c.mu.Unlock()
+		scratch := stats.New()
+		scratch.Restore(stats.Sum(snaps...))
+		_ = scratch.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /timeline", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("campaign")
+		if id == "" {
+			c.mu.Lock()
+			if len(c.order) == 1 {
+				id = c.order[0]
+			}
+			n := len(c.order)
+			c.mu.Unlock()
+			if id == "" {
+				writeErr(w, &httpError{http.StatusBadRequest,
+					fmt.Sprintf("fleet: /timeline needs ?campaign=ID (%d campaigns submitted)", n)})
+				return
+			}
+		}
+		recs, err := c.campaignTimeline(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, recs)
+	})
+	c.mux = mux
+}
+
+// campaignTimeline merges the latest uploaded sidecar of every shard of
+// a campaign into one fleet-wide series — the same (index, shard)
+// interleaving `gsbcampaign merge -timeline` produces.
+func (c *Coordinator) campaignTimeline(id string) ([]timeline.Record, error) {
+	c.mu.Lock()
+	cs, ok := c.campaigns[id]
+	var series [][]timeline.Record
+	if ok {
+		for i, sh := range cs.shards {
+			if len(sh.timeline) == 0 {
+				continue
+			}
+			recs, err := timeline.Decode(sh.timeline, fmt.Sprintf("campaign %s shard %d sidecar", id, i))
+			if err != nil {
+				c.mu.Unlock()
+				return nil, &httpError{http.StatusInternalServerError, err.Error()}
+			}
+			series = append(series, recs)
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("fleet: unknown campaign %q", id)}
+	}
+	merged, err := timeline.Merge(series...)
+	if err != nil {
+		return nil, &httpError{http.StatusInternalServerError, err.Error()}
+	}
+	if merged == nil {
+		merged = []timeline.Record{}
+	}
+	return merged, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		code = he.code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(apiError{Schema: Schema, Error: err.Error()})
+}

@@ -1,0 +1,433 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/timeline"
+)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	// Required.
+	Coordinator string
+	// Name is the worker's self-chosen label (default: hostname).
+	Name string
+	// WorkDir is the scratch directory for shard snapshots while they
+	// run locally. Required. The authoritative copies live on the
+	// coordinator; this dir is disposable.
+	WorkDir string
+	// PollEvery is the lease-poll interval while the queue is empty
+	// (default 500ms).
+	PollEvery time.Duration
+	// Logf, when set, receives worker event logs.
+	Logf func(format string, args ...any)
+	// Client overrides the HTTP client (tests inject a short timeout).
+	Client *http.Client
+}
+
+func (c *WorkerConfig) normalize() error {
+	if c.Coordinator == "" {
+		return fmt.Errorf("fleet: worker needs a coordinator URL")
+	}
+	if c.WorkDir == "" {
+		return fmt.Errorf("fleet: worker needs a work dir")
+	}
+	if c.Name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		c.Name = host
+	}
+	if c.PollEvery <= 0 {
+		c.PollEvery = 500 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return nil
+}
+
+// errAbandoned marks a run cut short because the coordinator fenced this
+// worker off its shard (the shard was re-dealt while we ran — a zombie's
+// view). The worker discards the run: nothing to release or fail.
+var errAbandoned = errors.New("fleet: shard re-dealt to another worker; abandoning")
+
+// Worker is one fleet agent: it registers with the coordinator, leases
+// shards, runs them through campaign.Start/Resume, uploads the snapshot
+// after every checkpoint write, and heartbeats in the background. Cancel
+// the context passed to Run to drain: the in-flight shard pauses at its
+// next checkpoint, the final snapshot is uploaded, the shard is released
+// for immediate re-deal, and Run returns.
+type Worker struct {
+	cfg WorkerConfig
+
+	id           string
+	heartbeatSec float64
+
+	// killed simulates a SIGKILL for tests: every outbound request is
+	// suppressed from the instant it is set, so the coordinator can
+	// learn of the death only by missed heartbeats.
+	killed   atomic.Bool
+	hardStop context.CancelFunc
+	hardCtx  context.Context
+
+	// abandon cancels the in-flight run when an upload is fenced (409).
+	mu      sync.Mutex
+	abandon context.CancelFunc
+}
+
+// NewWorker creates a worker; Run does the registering.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.WorkDir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: work dir: %w", err)
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Kill hard-stops the worker as a crash would: all outbound requests —
+// uploads, heartbeats, release — are suppressed immediately and the
+// in-flight campaign is cancelled. The coordinator finds out the way it
+// would for a real SIGKILL: heartbeats stop arriving, the timeout
+// expires, and the shard is re-dealt from its last uploaded checkpoint.
+// Tests use it to produce worker deaths at exact points.
+func (w *Worker) Kill() {
+	w.killed.Store(true)
+	if w.hardStop != nil {
+		w.hardStop()
+	}
+}
+
+// Run is the worker's whole life: register, heartbeat, lease/run until
+// ctx is cancelled, then drain. The returned error is nil after a clean
+// drain or kill.
+func (w *Worker) Run(ctx context.Context) error {
+	w.hardCtx, w.hardStop = context.WithCancel(ctx)
+	defer w.hardStop()
+
+	var reg RegisterResponse
+	if err := w.post("/v1/workers", RegisterRequest{Schema: Schema, Name: w.cfg.Name}, &reg); err != nil {
+		return err
+	}
+	w.id = reg.WorkerID
+	w.heartbeatSec = reg.HeartbeatSec
+	w.logf("fleet: worker %s registered as %s (heartbeat every %.1fs)", reg.Name, reg.WorkerID, reg.HeartbeatSec)
+
+	// The heartbeat loop outlives ctx on purpose: a graceful drain
+	// cancels ctx but the in-flight campaign still needs to reach its
+	// next checkpoint, upload, and release — the worker must stay alive
+	// in the coordinator's eyes for that whole window. Only Run's return
+	// (or a kill, which suppresses all sends anyway) stops the beats.
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go w.heartbeatLoop(hbStop, hbDone)
+	defer func() { close(hbStop); <-hbDone }()
+
+	for {
+		if w.killed.Load() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			// Drain complete: the last task (if any) already paused,
+			// uploaded and released below before the loop came back here.
+			w.deregister()
+			return nil
+		default:
+		}
+		task, ok, err := w.lease()
+		if err != nil {
+			if !w.killed.Load() && ctx.Err() == nil {
+				w.logf("fleet: lease failed: %v", err)
+				sleepCtx(ctx, w.cfg.PollEvery)
+			}
+			continue
+		}
+		if !ok {
+			sleepCtx(ctx, w.cfg.PollEvery)
+			continue
+		}
+		w.runTask(ctx, task)
+	}
+}
+
+// heartbeatLoop beats until Run returns or the worker is killed.
+func (w *Worker) heartbeatLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	interval := time.Duration(w.heartbeatSec * float64(time.Second))
+	if interval <= 0 {
+		interval = 3 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if w.killed.Load() {
+				return
+			}
+			var resp HeartbeatResponse
+			if err := w.post("/v1/workers/"+w.id+"/heartbeat", struct{}{}, &resp); err != nil {
+				w.logf("fleet: heartbeat failed: %v", err)
+			}
+		}
+	}
+}
+
+// lease asks for a task; ok is false on an empty queue (204).
+func (w *Worker) lease() (Task, bool, error) {
+	resp, err := w.do("POST", "/v1/workers/"+w.id+"/lease", struct{}{})
+	if err != nil {
+		return Task{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return Task{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Task{}, false, decodeAPIError(resp)
+	}
+	var lr LeaseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return Task{}, false, fmt.Errorf("fleet: lease response: %w", err)
+	}
+	return lr.Task, true, nil
+}
+
+// runTask runs one dealt shard to completion, pause, or death.
+func (w *Worker) runTask(ctx context.Context, task Task) {
+	path := filepath.Join(w.cfg.WorkDir, fmt.Sprintf("%s-shard%d.ckpt", task.CampaignID, task.Shard))
+	cfg, err := task.Submission.config(task.Shard, path)
+	if err != nil {
+		w.failTask(task, err.Error())
+		return
+	}
+	resume := len(task.Snapshot) > 0
+	if resume {
+		// Re-seed the local disk from the coordinator's authoritative
+		// copy: the previous owner's scratch files died with it.
+		if err := atomicWrite(path, task.Snapshot); err != nil {
+			w.failTask(task, err.Error())
+			return
+		}
+		side := timeline.SidecarPath(path)
+		if len(task.Timeline) > 0 {
+			if err := atomicWrite(side, task.Timeline); err != nil {
+				w.failTask(task, err.Error())
+				return
+			}
+		} else {
+			os.Remove(side)
+		}
+	} else {
+		// A fresh deal must not trip over scratch left by an earlier
+		// unrelated task with a recycled campaign id.
+		cfg.Force = true
+		os.Remove(timeline.SidecarPath(path))
+	}
+
+	runCtx, cancelRun := context.WithCancel(w.hardCtx)
+	defer cancelRun()
+	w.mu.Lock()
+	w.abandon = cancelRun
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.abandon = nil
+		w.mu.Unlock()
+	}()
+
+	abandoned := false
+	// The campaign calls OnCheckpoint after EVERY snapshot write — the
+	// periodic ones, the pause-on-cancel one, and the final one carrying
+	// the shard result — so uploading here is all the coordinator needs
+	// to track progress, accept the drain handoff, and detect shard
+	// completion.
+	cfg.Observer = campaign.NewObserver()
+	cfg.OnCheckpoint = func(h campaign.Header) {
+		if w.killed.Load() || abandoned {
+			return
+		}
+		if err := w.uploadSnapshot(task, path); err != nil {
+			var fence *httpError
+			if errors.As(err, &fence) && fence.code == http.StatusConflict {
+				w.logf("fleet: campaign %s shard %d: %v", task.CampaignID, task.Shard, errAbandoned)
+				abandoned = true
+				cancelRun()
+				return
+			}
+			// Transient upload failure: keep running; the next
+			// checkpoint retries with strictly more progress.
+			w.logf("fleet: upload failed (will retry at next checkpoint): %v", err)
+		}
+	}
+
+	w.logf("fleet: running campaign %s shard %d/%d (resume=%v)", task.CampaignID, task.Shard, task.Submission.Shards, resume)
+	var rep campaign.Report
+	if resume {
+		rep, err = campaign.Resume(runCtx, cfg)
+	} else {
+		rep, err = campaign.Start(runCtx, cfg)
+	}
+	switch {
+	case w.killed.Load() || abandoned:
+		// Dead workers tell no tales: no release, no fail report.
+	case rep.Done:
+		// Finished (verified or violation found) — the final snapshot
+		// upload already flipped the shard to done; the verdict rides in
+		// its header's Result.
+		w.logf("fleet: campaign %s shard %d done: %d schedules, violation=%q", task.CampaignID, task.Shard, rep.Schedules, rep.Violation)
+	case errors.Is(err, campaign.ErrPaused):
+		// Drain: the pause checkpoint was uploaded by OnCheckpoint;
+		// hand the shard back so it re-deals immediately.
+		w.logf("fleet: campaign %s shard %d paused for drain after %d schedules", task.CampaignID, task.Shard, rep.Schedules)
+		w.release(task)
+	case err != nil:
+		// Terminal engine error a resume cannot fix (exhausted budget,
+		// invalid config): report it so the campaign fails loudly
+		// instead of re-dealing forever.
+		w.failTask(task, err.Error())
+	}
+}
+
+// uploadSnapshot posts the shard's current snapshot file (and sidecar).
+func (w *Worker) uploadSnapshot(task Task, path string) error {
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	side, err := os.ReadFile(timeline.SidecarPath(path))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	var resp UploadResponse
+	return w.post(
+		fmt.Sprintf("/v1/campaigns/%s/shards/%d/snapshot", task.CampaignID, task.Shard),
+		UploadRequest{Schema: Schema, WorkerID: w.id, Snapshot: snap, Timeline: side},
+		&resp,
+	)
+}
+
+func (w *Worker) release(task Task) {
+	err := w.post("/v1/workers/"+w.id+"/release",
+		ReleaseRequest{Schema: Schema, CampaignID: task.CampaignID, Shard: task.Shard}, &struct {
+			Schema string `json:"schema"`
+		}{})
+	if err != nil {
+		w.logf("fleet: release failed (coordinator will re-deal on heartbeat timeout): %v", err)
+	}
+}
+
+func (w *Worker) failTask(task Task, msg string) {
+	err := w.post(
+		fmt.Sprintf("/v1/campaigns/%s/shards/%d/fail", task.CampaignID, task.Shard),
+		struct {
+			Schema   string `json:"schema"`
+			WorkerID string `json:"worker_id"`
+			Error    string `json:"error"`
+		}{Schema, w.id, msg},
+		&struct {
+			Schema string `json:"schema"`
+		}{})
+	if err != nil {
+		w.logf("fleet: fail report rejected: %v", err)
+	}
+}
+
+func (w *Worker) deregister() {
+	req, err := http.NewRequest("DELETE", w.cfg.Coordinator+"/v1/workers/"+w.id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := w.cfg.Client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// post sends a JSON request and decodes a 2xx JSON response into out.
+func (w *Worker) post(path string, in, out any) error {
+	resp, err := w.do("POST", path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("fleet: response from %s: %w", path, err)
+	}
+	return nil
+}
+
+func (w *Worker) do(method, path string, in any) (*http.Response, error) {
+	if w.killed.Load() {
+		return nil, fmt.Errorf("fleet: worker killed")
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	req, err := http.NewRequest(method, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return resp, nil
+}
+
+// decodeAPIError turns a non-2xx response into an *httpError carrying
+// the body's error message (so callers can switch on the status code —
+// the 409 fence in particular).
+func decodeAPIError(resp *http.Response) error {
+	var ae apiError
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+		return &httpError{resp.StatusCode, ae.Error}
+	}
+	return &httpError{resp.StatusCode, fmt.Sprintf("fleet: coordinator returned %s", resp.Status)}
+}
+
+// sleepCtx sleeps d or until ctx is done; reports whether it slept the
+// whole interval.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -416,6 +416,21 @@ func (s Snapshot) Add(t Snapshot) Snapshot {
 // Counter returns the snapshot's value for a counter (0 when absent).
 func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
+// Sum folds any number of snapshots with Add: the element-wise total of
+// the set (counters and histograms summed; for gauges the last
+// snapshot's level wins). The fleet coordinator aggregates shard
+// snapshots with it — one snapshot per shard, each already cumulative
+// across that shard's process lives, so summing the latest snapshot per
+// shard equals an uninterrupted unsharded run and never double-counts a
+// re-dealt shard's pre-crash work.
+func Sum(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		out = out.Add(s)
+	}
+	return out
+}
+
 func boundsEqual(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false

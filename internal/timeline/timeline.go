@@ -246,12 +246,20 @@ func Read(path string) ([]Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("timeline: %w", err)
 	}
+	return Decode(data, path)
+}
+
+// Decode parses a timeline series from raw sidecar bytes — the form the
+// fleet coordinator receives in checkpoint uploads — with Read's
+// tolerance for a torn trailing line and its loud rejection of interior
+// corruption or non-monotone indices. name labels errors.
+func Decode(data []byte, name string) ([]Record, error) {
 	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
 		data = data[:i+1]
 	} else {
 		data = nil
 	}
-	return decodeAll(data, path)
+	return decodeAll(data, name)
 }
 
 // Since filters a series to the records with Index >= since — the
